@@ -1,0 +1,48 @@
+# Developer entry points. Everything is plain `go` underneath; the Makefile
+# just names the common invocations.
+
+GO ?= go
+
+.PHONY: all build test race cover bench experiments examples fuzz clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) vet ./...
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+cover:
+	$(GO) test -cover ./...
+
+bench:
+	$(GO) test -bench=. -benchmem .
+
+# Regenerate every experiment table of EXPERIMENTS.md (full scale ≈ 30 min).
+experiments:
+	$(GO) run ./cmd/experiments -scale full -markdown
+
+experiments-quick:
+	$(GO) run ./cmd/experiments -scale quick
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/deadlock
+	$(GO) run ./examples/reuse
+	$(GO) run ./examples/tuning
+	$(GO) run ./examples/synthesis
+	$(GO) run ./examples/tokenring
+
+# Short fuzzing pass over every fuzz target.
+fuzz:
+	$(GO) test -run=Fuzz -fuzz=FuzzFIFOOps -fuzztime=15s ./internal/channel/
+	$(GO) test -run=Fuzz -fuzz=FuzzAcceptForward -fuzztime=15s ./internal/ring/
+	$(GO) test -run=Fuzz -fuzz=FuzzParseSystem -fuzztime=15s ./cmd/gbcheck/
+
+clean:
+	$(GO) clean ./...

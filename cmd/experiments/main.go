@@ -1,0 +1,94 @@
+// Command experiments regenerates every experiment table of EXPERIMENTS.md
+// (the reproduction of the paper's Figure 1 and of its behavioural claims
+// E2–E9).
+//
+// Usage:
+//
+//	experiments [-scale quick|full] [-markdown] [-only E4]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"github.com/graybox-stabilization/graybox/internal/harness"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
+	scaleName := fs.String("scale", "quick", "sweep scale: quick or full")
+	markdown := fs.Bool("markdown", false, "emit GitHub-flavored markdown tables")
+	csvOut := fs.Bool("csv", false, "emit CSV (one table after another, titles as comments)")
+	only := fs.String("only", "", "run a single experiment (E1..E11)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var scale harness.Scale
+	switch *scaleName {
+	case "quick":
+		scale = harness.Quick
+	case "full":
+		scale = harness.Full
+	default:
+		return fmt.Errorf("unknown scale %q (want quick or full)", *scaleName)
+	}
+
+	tables := selectTables(scale, strings.ToUpper(*only))
+	if len(tables) == 0 {
+		return fmt.Errorf("no experiment matches %q", *only)
+	}
+	for _, t := range tables {
+		switch {
+		case *csvOut:
+			fmt.Fprintf(out, "# %s\n%s\n", t.Title, t.CSV())
+		case *markdown:
+			fmt.Fprintln(out, t.Markdown())
+		default:
+			fmt.Fprintln(out, t.String())
+		}
+	}
+	return nil
+}
+
+// selectTables builds the requested tables lazily so -only doesn't pay for
+// the full sweep.
+func selectTables(scale harness.Scale, only string) []*harness.Table {
+	builders := map[string]func() *harness.Table{
+		"E1":  harness.Fig1,
+		"E2":  func() *harness.Table { return harness.Stabilization(harness.RA, scale) },
+		"E3":  func() *harness.Table { return harness.Stabilization(harness.Lamport, scale) },
+		"E4":  func() *harness.Table { return harness.Deadlock(scale) },
+		"E5":  func() *harness.Table { return harness.TimeoutSweep(harness.RA, scale) },
+		"E6":  func() *harness.Table { return harness.Interference(scale) },
+		"E7":  func() *harness.Table { return harness.LspecImpliesTME(scale) },
+		"E8":  func() *harness.Table { return harness.Scalability(scale) },
+		"E9":  func() *harness.Table { return harness.Synthesis(scale) },
+		"E10": func() *harness.Table { return harness.WhiteboxBaseline(scale) },
+		"E11": func() *harness.Table { return harness.TokenCirculation(scale) },
+		"E12": func() *harness.Table { return harness.RefinementAblation(scale) },
+		"E13": func() *harness.Table { return harness.Level1Ablation(scale) },
+	}
+	if only != "" {
+		b, ok := builders[only]
+		if !ok {
+			return nil
+		}
+		return []*harness.Table{b()}
+	}
+	out := make([]*harness.Table, 0, len(builders))
+	for _, id := range []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13"} {
+		out = append(out, builders[id]())
+	}
+	return out
+}

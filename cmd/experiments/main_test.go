@@ -1,0 +1,55 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunE1(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-only", "E1"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "Figure 1") || !strings.Contains(out, "false") {
+		t.Errorf("unexpected output: %q", out)
+	}
+}
+
+func TestRunE1Markdown(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-only", "e1", "-markdown"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "| query | result |") {
+		t.Errorf("markdown header missing: %q", b.String())
+	}
+}
+
+func TestRunE1CSV(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-only", "E1", "-csv"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "query,result,witness") {
+		t.Errorf("CSV header missing: %q", out)
+	}
+	if !strings.Contains(out, "# E1") {
+		t.Errorf("title comment missing: %q", out)
+	}
+}
+
+func TestRunRejectsBadScale(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-scale", "huge"}, &b); err == nil {
+		t.Error("bad scale accepted")
+	}
+}
+
+func TestRunRejectsUnknownExperiment(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-only", "E99"}, &b); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}

@@ -1,0 +1,37 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseSystem hardens the model parser: arbitrary input must either
+// parse into a valid total system or return an error — never panic, never
+// produce a system violating its own invariants.
+func FuzzParseSystem(f *testing.F) {
+	f.Add("states 2\ninit 0\nedge 0 1\nedge 1 0\n")
+	f.Add("states 1\ninit 0\nedge 0 0\n")
+	f.Add("# comment\nstates 3\ninit 0 1\nedge 0 0\nedge 1 1\nedge 2 0\n")
+	f.Add("states -1\n")
+	f.Add("edge\n")
+	f.Add("states 999999999999999999999\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		s, err := parseSystem(strings.NewReader(input), "fuzz")
+		if err != nil {
+			return
+		}
+		// A successfully parsed system must be well formed: total with at
+		// least one initial state.
+		if s.NumStates() < 1 {
+			t.Fatalf("parsed system with %d states", s.NumStates())
+		}
+		for u := 0; u < s.NumStates(); u++ {
+			if len(s.Successors(u)) == 0 {
+				t.Fatalf("parsed system not total at state %d", u)
+			}
+		}
+		if len(s.Init()) == 0 {
+			t.Fatal("parsed system without initial states")
+		}
+	})
+}

@@ -1,0 +1,339 @@
+// Command gbcheck exercises the formal graybox framework: it decides the
+// paper's relations on the bundled Figure-1 model or on a model supplied as
+// a simple text format, and synthesizes recovery wrappers for finite specs.
+//
+// Usage:
+//
+//	gbcheck fig1                      # reproduce the Figure 1 counterexample
+//	gbcheck check -spec A.sys -impl C.sys
+//	gbcheck synth -spec A.sys
+//	gbcheck mask  -spec A.sys         # masking/fail-safe synthesis
+//
+// Model format (one directive per line; '#' starts a comment):
+//
+//	states N
+//	init S [S...]
+//	edge U V
+//	fault U V     # uncontrollable fault transition (mask only)
+//	bad S [S...]  # safety-violating states (mask only)
+package main
+
+import (
+	"bufio"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"github.com/graybox-stabilization/graybox/internal/ftsynth"
+	"github.com/graybox-stabilization/graybox/internal/graybox"
+	"github.com/graybox-stabilization/graybox/internal/synth"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "gbcheck:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	if len(args) == 0 {
+		return errors.New("usage: gbcheck fig1|check|synth [flags]")
+	}
+	switch args[0] {
+	case "fig1":
+		return fig1(out)
+	case "check":
+		return check(args[1:], out)
+	case "synth":
+		return synthesize(args[1:], out)
+	case "mask":
+		return mask(args[1:], out)
+	case "dot":
+		return dot(args[1:], out)
+	default:
+		return fmt.Errorf("unknown subcommand %q (want fig1, check, synth, mask, or dot)", args[0])
+	}
+}
+
+// dot renders a model as Graphviz, highlighting a stabilization
+// counterexample against a reference spec when one is given.
+func dot(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("dot", flag.ContinueOnError)
+	specPath := fs.String("spec", "", "path to the model to render ('fig1' for the bundled C)")
+	against := fs.String("against", "", "optional reference spec: highlight the lasso of a failed StabilizingTo")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var sys *graybox.System
+	if *specPath == "fig1" || *specPath == "" {
+		sys = graybox.Fig1C()
+	} else {
+		var err error
+		if sys, err = loadSystem(*specPath, "M"); err != nil {
+			return err
+		}
+	}
+	var highlight map[[2]int]bool
+	if *against != "" {
+		ref, err := loadSystem(*against, "A")
+		if err != nil {
+			return err
+		}
+		if ok, lasso := graybox.StabilizingTo(sys, ref); !ok {
+			highlight = lasso.Edges()
+		}
+	} else if *specPath == "fig1" || *specPath == "" {
+		if ok, lasso := graybox.StabilizingTo(sys, graybox.Fig1A()); !ok {
+			highlight = lasso.Edges()
+		}
+	}
+	return sys.WriteDOT(out, highlight)
+}
+
+// mask runs fail-safe and masking synthesis for a model with fault/bad
+// directives.
+func mask(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("mask", flag.ContinueOnError)
+	specPath := fs.String("spec", "", "path to the specification model with fault/bad directives")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *specPath == "" {
+		return errors.New("mask: -spec is required")
+	}
+	f, err := os.Open(*specPath)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	p, err := parseProblem(f, "A")
+	if err != nil {
+		return err
+	}
+	fsafe, err := ftsynth.SynthesizeFailSafe(p)
+	if err != nil {
+		return fmt.Errorf("fail-safe synthesis: %w", err)
+	}
+	wrapped := fsafe.Apply(p.Spec)
+	if s := ftsynth.VerifyFailSafe(p, wrapped); s >= 0 {
+		return fmt.Errorf("fail-safe verification failed at state %d", s)
+	}
+	fmt.Fprintln(out, "fail-safe: synthesized and verified (no bad state reachable)")
+
+	m, err := ftsynth.SynthesizeMasking(p)
+	if err != nil {
+		fmt.Fprintf(out, "masking: unsynthesizable: %v\n", err)
+		return nil
+	}
+	mw := m.Apply(p.Spec)
+	if msg := ftsynth.VerifyMasking(p, mw); msg != "" {
+		return fmt.Errorf("masking verification failed: %s", msg)
+	}
+	fmt.Fprintln(out, "masking: synthesized and verified (safe + recovering)")
+	n := p.Spec.NumStates()
+	for s := 0; s < n; s++ {
+		if nx := m.Recovery(s); nx >= 0 {
+			fmt.Fprintf(out, "  recovery %d -> %d (distance %d)\n", s, nx, m.Distance(s))
+		}
+	}
+	return nil
+}
+
+func fig1(out io.Writer) error {
+	a, c := graybox.Fig1A(), graybox.Fig1C()
+	fmt.Fprintf(out, "A: %d states, %d transitions, init %v\n", a.NumStates(), a.NumTransitions(), a.Init())
+	fmt.Fprintf(out, "C: %d states, %d transitions, init %v\n", c.NumStates(), c.NumTransitions(), c.Init())
+	report(out, a, c)
+	return nil
+}
+
+func check(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("check", flag.ContinueOnError)
+	specPath := fs.String("spec", "", "path to the specification model A")
+	implPath := fs.String("impl", "", "path to the implementation model C")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *specPath == "" || *implPath == "" {
+		return errors.New("check: -spec and -impl are required")
+	}
+	a, err := loadSystem(*specPath, "A")
+	if err != nil {
+		return err
+	}
+	c, err := loadSystem(*implPath, "C")
+	if err != nil {
+		return err
+	}
+	report(out, a, c)
+	return nil
+}
+
+func report(out io.Writer, a, c *graybox.System) {
+	fmt.Fprintf(out, "[C => A]_init       : %v\n", graybox.Implements(c, a))
+	fmt.Fprintf(out, "[C => A] everywhere : %v\n", graybox.EverywhereImplements(c, a))
+	okA, lA := graybox.SelfStabilizing(a)
+	fmt.Fprintf(out, "A stabilizing to A  : %v%s\n", okA, lassoSuffix(lA))
+	okC, lC := graybox.StabilizingTo(c, a)
+	fmt.Fprintf(out, "C stabilizing to A  : %v%s\n", okC, lassoSuffix(lC))
+}
+
+func lassoSuffix(l *graybox.Lasso) string {
+	if l == nil {
+		return ""
+	}
+	return "  (" + l.String() + ")"
+}
+
+func synthesize(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("synth", flag.ContinueOnError)
+	specPath := fs.String("spec", "", "path to the specification model A ('fig1' for the bundled C)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var a *graybox.System
+	if *specPath == "fig1" || *specPath == "" {
+		a = graybox.Fig1A()
+		fmt.Fprintln(out, "using the bundled Figure-1 specification A")
+	} else {
+		var err error
+		if a, err = loadSystem(*specPath, "A"); err != nil {
+			return err
+		}
+	}
+	st, err := synth.Synthesize(a, synth.AllCandidates(a.NumStates()))
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "synthesized strategy: %d active states, max recovery %d steps\n",
+		len(st.Active()), st.MaxDistance())
+	for _, s := range st.Active() {
+		fmt.Fprintf(out, "  %d -> %d (distance %d)\n", s, st.Next(s), st.Distance(s))
+	}
+	wrapped := st.Wrapped(a)
+	ok, l := graybox.StabilizingTo(wrapped, a)
+	fmt.Fprintf(out, "wrapped spec stabilizing to spec: %v%s\n", ok, lassoSuffix(l))
+	return nil
+}
+
+// loadSystem parses the text model format.
+func loadSystem(path, name string) (*graybox.System, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return parseSystem(f, name)
+}
+
+// parseSystem parses the base model format (states/init/edge).
+func parseSystem(r io.Reader, name string) (*graybox.System, error) {
+	p, err := parseProblem(r, name)
+	if err != nil {
+		return nil, err
+	}
+	return p.Spec, nil
+}
+
+// parseProblem parses the extended model format, including the fault and
+// bad directives used by the mask subcommand.
+func parseProblem(r io.Reader, name string) (ftsynth.Problem, error) {
+	var (
+		p            ftsynth.Problem
+		inits, edges [][]int
+		faults       [][]int
+		bads         []int
+		n            = -1
+	)
+	sc := bufio.NewScanner(r)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := sc.Text()
+		if i := strings.IndexByte(text, '#'); i >= 0 {
+			text = text[:i]
+		}
+		fields := strings.Fields(text)
+		if len(fields) == 0 {
+			continue
+		}
+		nums, err := atois(fields[1:])
+		if err != nil {
+			return p, fmt.Errorf("line %d: %w", line, err)
+		}
+		switch fields[0] {
+		case "states":
+			if len(nums) != 1 {
+				return p, fmt.Errorf("line %d: states wants one number", line)
+			}
+			n = nums[0]
+		case "init":
+			inits = append(inits, nums)
+		case "edge":
+			if len(nums) != 2 {
+				return p, fmt.Errorf("line %d: edge wants two numbers", line)
+			}
+			edges = append(edges, nums)
+		case "fault":
+			if len(nums) != 2 {
+				return p, fmt.Errorf("line %d: fault wants two numbers", line)
+			}
+			faults = append(faults, nums)
+		case "bad":
+			bads = append(bads, nums...)
+		default:
+			return p, fmt.Errorf("line %d: unknown directive %q", line, fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return p, err
+	}
+	if n < 0 {
+		return p, errors.New("missing 'states' directive")
+	}
+	b := graybox.NewBuilder(name, n)
+	for _, in := range inits {
+		b.SetInit(in...)
+	}
+	for _, e := range edges {
+		b.AddTransition(e[0], e[1])
+	}
+	sys, err := b.Build()
+	if err != nil {
+		return p, err
+	}
+	p.Spec = sys
+	for _, f := range faults {
+		if f[0] < 0 || f[0] >= n || f[1] < 0 || f[1] >= n {
+			return p, fmt.Errorf("fault %d->%d out of range [0,%d)", f[0], f[1], n)
+		}
+		p.Faults = append(p.Faults, [2]int{f[0], f[1]})
+	}
+	if len(bads) > 0 {
+		p.Bad = make([]bool, n)
+		for _, s := range bads {
+			if s < 0 || s >= n {
+				return p, fmt.Errorf("bad state %d out of range [0,%d)", s, n)
+			}
+			p.Bad[s] = true
+		}
+	}
+	return p, nil
+}
+
+func atois(ss []string) ([]int, error) {
+	out := make([]int, len(ss))
+	for i, s := range ss {
+		v, err := strconv.Atoi(s)
+		if err != nil {
+			return nil, fmt.Errorf("bad number %q", s)
+		}
+		out[i] = v
+	}
+	return out, nil
+}

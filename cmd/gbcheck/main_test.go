@@ -1,0 +1,241 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestFig1Subcommand(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"fig1"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"[C => A]_init       : holds",
+		"A stabilizing to A  : true",
+		"C stabilizing to A  : false",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestSynthSubcommand(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"synth"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "wrapped spec stabilizing to spec: true") {
+		t.Errorf("output:\n%s", b.String())
+	}
+}
+
+func TestCheckSubcommandWithFiles(t *testing.T) {
+	dir := t.TempDir()
+	spec := filepath.Join(dir, "a.sys")
+	impl := filepath.Join(dir, "c.sys")
+	// Figure 1 in the text format.
+	specText := `# Figure 1 specification
+states 5
+init 0
+edge 0 1
+edge 1 2
+edge 2 3
+edge 3 3
+edge 4 2
+`
+	implText := `states 5
+init 0
+edge 0 1
+edge 1 2
+edge 2 3
+edge 3 3
+edge 4 4
+`
+	if err := os.WriteFile(spec, []byte(specText), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(impl, []byte(implText), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := run([]string{"check", "-spec", spec, "-impl", impl}, &b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "C stabilizing to A  : false") {
+		t.Errorf("output:\n%s", out)
+	}
+}
+
+func TestParseSystemErrors(t *testing.T) {
+	cases := map[string]string{
+		"missing states": "init 0\nedge 0 0\n",
+		"bad directive":  "states 1\nfoo\n",
+		"bad number":     "states 1\nedge 0 x\n",
+		"edge arity":     "states 1\nedge 0\n",
+		"states arity":   "states 1 2\n",
+		"not total":      "states 2\ninit 0\nedge 0 1\n",
+	}
+	for name, text := range cases {
+		if _, err := parseSystem(strings.NewReader(text), "t"); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestParseSystemComments(t *testing.T) {
+	text := "states 1 # one state\n# full comment line\ninit 0\nedge 0 0\n"
+	s, err := parseSystem(strings.NewReader(text), "t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.NumStates() != 1 || !s.HasTransition(0, 0) {
+		t.Error("parsed system wrong")
+	}
+}
+
+func TestMaskSubcommand(t *testing.T) {
+	dir := t.TempDir()
+	spec := filepath.Join(dir, "m.sys")
+	// The worked example from internal/ftsynth: legit ring 0→1→2→0,
+	// fault 1→3, state 3 can slide into bad state 4 or return home.
+	text := `states 5
+init 0
+edge 0 1
+edge 1 2
+edge 2 0
+edge 3 4
+edge 3 0
+edge 4 4
+fault 1 3
+bad 4
+`
+	if err := os.WriteFile(spec, []byte(text), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := run([]string{"mask", "-spec", spec}, &b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"fail-safe: synthesized and verified",
+		"masking: synthesized and verified",
+		"recovery 3 -> 0",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestMaskUnsynthesizable(t *testing.T) {
+	dir := t.TempDir()
+	spec := filepath.Join(dir, "bad.sys")
+	// A fault from the initial state straight into a bad state: even
+	// fail-safe synthesis must refuse.
+	text := `states 2
+init 0
+edge 0 0
+edge 1 1
+fault 0 1
+bad 1
+`
+	if err := os.WriteFile(spec, []byte(text), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := run([]string{"mask", "-spec", spec}, &b); err == nil {
+		t.Error("unsynthesizable problem accepted")
+	}
+}
+
+func TestParseProblemDirectives(t *testing.T) {
+	text := "states 3\ninit 0\nedge 0 1\nedge 1 0\nedge 2 2\nfault 0 2\nbad 2\n"
+	p, err := parseProblem(strings.NewReader(text), "t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Faults) != 1 || p.Faults[0] != [2]int{0, 2} {
+		t.Errorf("faults = %v", p.Faults)
+	}
+	if p.Bad == nil || !p.Bad[2] || p.Bad[0] {
+		t.Errorf("bad = %v", p.Bad)
+	}
+	// Out-of-range directives rejected.
+	for _, bad := range []string{
+		"states 1\ninit 0\nedge 0 0\nfault 0 9\n",
+		"states 1\ninit 0\nedge 0 0\nbad 9\n",
+		"states 1\ninit 0\nedge 0 0\nfault 0\n",
+	} {
+		if _, err := parseProblem(strings.NewReader(bad), "t"); err == nil {
+			t.Errorf("accepted %q", bad)
+		}
+	}
+}
+
+func TestDotSubcommand(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"dot"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"digraph", "doublecircle", "color=red"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in dot output:\n%s", want, out)
+		}
+	}
+}
+
+func TestDotAgainstFiles(t *testing.T) {
+	var b strings.Builder
+	err := run([]string{"dot", "-spec", "../../models/fig1-impl.sys",
+		"-against", "../../models/fig1.sys"}, &b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "color=red") {
+		t.Error("lasso not highlighted against reference spec")
+	}
+}
+
+func TestBundledModels(t *testing.T) {
+	// The shipped model files must keep deciding the way the README says.
+	var b strings.Builder
+	err := run([]string{"check", "-spec", "../../models/fig1.sys",
+		"-impl", "../../models/fig1-impl.sys"}, &b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "C stabilizing to A  : false") {
+		t.Errorf("bundled fig1 models decide wrong:\n%s", b.String())
+	}
+	b.Reset()
+	if err := run([]string{"mask", "-spec", "../../models/masking-demo.sys"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "masking: synthesized and verified") {
+		t.Errorf("bundled masking model fails:\n%s", b.String())
+	}
+}
+
+func TestUsageErrors(t *testing.T) {
+	for _, args := range [][]string{
+		{},
+		{"frobnicate"},
+		{"check"},
+		{"check", "-spec", "/nonexistent", "-impl", "/nonexistent"},
+		{"mask"},
+		{"mask", "-spec", "/nonexistent"},
+	} {
+		var b strings.Builder
+		if err := run(args, &b); err == nil {
+			t.Errorf("args %v accepted", args)
+		}
+	}
+}

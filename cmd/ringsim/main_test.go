@@ -1,0 +1,64 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestLossWithWrapperRecovers(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-fault", "loss", "-delta", "25"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "regenerations  1") {
+		t.Errorf("expected one regeneration:\n%s", out)
+	}
+	if !strings.Contains(out, "live tokens    1") {
+		t.Errorf("expected a single live token:\n%s", out)
+	}
+}
+
+func TestLossWithoutWrapperStaysDead(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-fault", "loss", "-delta", "0"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "live tokens    0") {
+		t.Errorf("unwrapped ring should stay dead:\n%s", b.String())
+	}
+}
+
+func TestLazyWithSeqFault(t *testing.T) {
+	var b strings.Builder
+	err := run([]string{"-impl", "lazy", "-fault", "seq", "-horizon", "4000"}, &b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "live tokens    1") {
+		t.Errorf("seq blockade not outrun:\n%s", b.String())
+	}
+}
+
+func TestBadFlags(t *testing.T) {
+	for _, args := range [][]string{
+		{"-impl", "teleporting"},
+		{"-fault", "gamma-ray"},
+		{"-fault-at", "99", "-horizon", "50"},
+	} {
+		var b strings.Builder
+		if err := run(args, &b); err == nil {
+			t.Errorf("args %v accepted", args)
+		}
+	}
+}
+
+func TestNoFault(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-fault", "none"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "regenerations  0") {
+		t.Errorf("fault-free run regenerated:\n%s", b.String())
+	}
+}

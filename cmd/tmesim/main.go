@@ -1,0 +1,123 @@
+// Command tmesim runs one TME simulation and prints its metrics: the
+// quickest way to watch a wrapped or unwrapped system live through a fault
+// schedule.
+//
+// Usage:
+//
+//	tmesim [-algo ra|lamport] [-n 5] [-seed 1] [-delta 5] [-nowrapper]
+//	       [-faults 100,200,300] [-per-burst 10] [-deadlock]
+//	       [-horizon 20000] [-requests 10] [-monitor] [-v]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"github.com/graybox-stabilization/graybox/internal/harness"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "tmesim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("tmesim", flag.ContinueOnError)
+	algoName := fs.String("algo", "ra", "algorithm: ra or lamport")
+	n := fs.Int("n", 5, "number of processes")
+	seed := fs.Int64("seed", 1, "simulation seed")
+	faultSeed := fs.Int64("fault-seed", 2, "fault injector seed")
+	delta := fs.Int64("delta", 5, "wrapper timeout δ (0 = eager W)")
+	noWrapper := fs.Bool("nowrapper", false, "run without the graybox wrapper")
+	unrefined := fs.Bool("unrefined", false, "use the unrefined W (resend to all)")
+	faultList := fs.String("faults", "", "comma-separated virtual times of fault bursts")
+	perBurst := fs.Int("per-burst", 10, "faults per burst")
+	deadlock := fs.Bool("deadlock", false, "run the §4 deadlock scenario instead of the random workload")
+	horizon := fs.Int64("horizon", 20000, "virtual-time horizon")
+	requests := fs.Int("requests", 10, "max requests per process")
+	monitor := fs.Bool("monitor", false, "run the Lspec/TME_Spec monitors")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var algo harness.Algo
+	switch *algoName {
+	case "ra":
+		algo = harness.RA
+	case "lamport":
+		algo = harness.Lamport
+	default:
+		return fmt.Errorf("unknown algorithm %q (want ra or lamport)", *algoName)
+	}
+
+	faults, err := parseTimes(*faultList)
+	if err != nil {
+		return err
+	}
+
+	cfg := harness.RunConfig{
+		Algo: algo, N: *n,
+		Seed: *seed, FaultSeed: *faultSeed,
+		Delta:          *delta,
+		Unrefined:      *unrefined,
+		FaultTimes:     faults,
+		FaultsPerBurst: *perBurst,
+		DeadlockFault:  *deadlock,
+		Horizon:        *horizon,
+		MaxRequests:    *requests,
+		Monitor:        *monitor,
+	}
+	if *noWrapper {
+		cfg.Delta = harness.NoWrapper
+	}
+	r := harness.Run(cfg)
+
+	fmt.Fprintf(out, "algorithm      %v (n=%d, seed=%d)\n", algo, *n, *seed)
+	wname := fmt.Sprintf("W'(δ=%d)", cfg.Delta)
+	if *noWrapper {
+		wname = "none"
+	} else if *unrefined {
+		wname = fmt.Sprintf("unrefined W (δ=%d)", cfg.Delta)
+	}
+	fmt.Fprintf(out, "wrapper        %s\n", wname)
+	fmt.Fprintf(out, "entries        %d (requests %d)\n", r.Entries, r.Requests)
+	fmt.Fprintf(out, "messages       program %d, wrapper %d\n", r.ProgramMsgs, r.WrapperMsgs)
+	if r.LastFault >= 0 {
+		fmt.Fprintf(out, "last fault     t=%d\n", r.LastFault)
+		fmt.Fprintf(out, "entries after  %d (first at t=%d)\n", r.EntriesAfterFault, r.FirstEntryAfterFault)
+	}
+	if *monitor {
+		fmt.Fprintf(out, "violations     %d (last at t=%d)\n", r.Violations, r.LastViolation)
+		for _, op := range []string{"invariant", "unless", "request", "timestamp", "ME3"} {
+			if s, ok := r.ViolationSummary[op]; ok {
+				fmt.Fprintf(out, "  %-12s %d (last at t=%d)\n", op, s.Count, s.Last)
+			}
+		}
+		fmt.Fprintf(out, "convergence    %d virtual ticks after last fault\n", r.ConvergenceTime)
+		fmt.Fprintf(out, "starved        %v\n", r.Starved)
+	}
+	fmt.Fprintf(out, "converged      %v\n", r.Converged)
+	return nil
+}
+
+func parseTimes(s string) ([]int64, error) {
+	if s == "" {
+		return nil, nil
+	}
+	parts := strings.Split(s, ",")
+	out := make([]int64, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.ParseInt(strings.TrimSpace(p), 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad fault time %q: %w", p, err)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}

@@ -1,0 +1,69 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDeadlockScenarios(t *testing.T) {
+	var wrapped strings.Builder
+	if err := run([]string{"-deadlock", "-monitor"}, &wrapped); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(wrapped.String(), "converged      true") {
+		t.Errorf("wrapped deadlock run should converge:\n%s", wrapped.String())
+	}
+
+	var bare strings.Builder
+	if err := run([]string{"-deadlock", "-nowrapper"}, &bare); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(bare.String(), "converged      false") {
+		t.Errorf("unwrapped deadlock run should not converge:\n%s", bare.String())
+	}
+}
+
+func TestLamportWithFaults(t *testing.T) {
+	var b strings.Builder
+	err := run([]string{"-algo", "lamport", "-n", "3", "-faults", "100,200",
+		"-per-burst", "5", "-monitor", "-horizon", "30000", "-requests", "20"}, &b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "lamport") {
+		t.Errorf("output: %s", b.String())
+	}
+}
+
+func TestUnrefinedFlag(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-deadlock", "-unrefined"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "unrefined") {
+		t.Errorf("output: %s", b.String())
+	}
+}
+
+func TestBadFlags(t *testing.T) {
+	cases := [][]string{
+		{"-algo", "zookeeper"},
+		{"-faults", "12,x"},
+	}
+	for _, args := range cases {
+		var b strings.Builder
+		if err := run(args, &b); err == nil {
+			t.Errorf("args %v accepted", args)
+		}
+	}
+}
+
+func TestParseTimes(t *testing.T) {
+	ts, err := parseTimes(" 1, 2 ,30")
+	if err != nil || len(ts) != 3 || ts[2] != 30 {
+		t.Errorf("parseTimes = %v, %v", ts, err)
+	}
+	if ts, err := parseTimes(""); err != nil || ts != nil {
+		t.Errorf("empty parseTimes = %v, %v", ts, err)
+	}
+}

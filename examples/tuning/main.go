@@ -1,0 +1,44 @@
+// Tuning: the W' timeout δ trades recovery latency against steady-state
+// message overhead (DSN 2001 §4, "Implementation of W"). Small δ recovers
+// fast but spams requests while the system is already consistent; large δ
+// is quiet but slow to notice inconsistency. δ=0 is the eager W.
+//
+//	go run ./examples/tuning
+package main
+
+import (
+	"fmt"
+
+	"github.com/graybox-stabilization/graybox/internal/harness"
+)
+
+func main() {
+	fmt.Println("W' timeout sweep on Ricart–Agrawala, n=4")
+	fmt.Println()
+	fmt.Printf("%-8s %-24s %-26s\n", "δ", "recovery latency (ticks)", "wrapper msgs (fault-free run)")
+
+	for _, delta := range []int64{0, 1, 2, 5, 10, 20, 50, 100} {
+		// Deliberate deadlock: how fast does W' break it?
+		faulty := harness.Run(harness.RunConfig{
+			Algo: harness.RA, N: 4, Seed: 1,
+			Delta:         delta,
+			DeadlockFault: true,
+			Horizon:       30000,
+		})
+		latency := "never"
+		if faulty.FirstEntryAfterFault >= 0 {
+			latency = fmt.Sprint(faulty.FirstEntryAfterFault - faulty.LastFault)
+		}
+		// Fault-free workload: what does W' cost at steady state?
+		clean := harness.Run(harness.RunConfig{
+			Algo: harness.RA, N: 4, Seed: 1,
+			Delta: delta,
+		})
+		fmt.Printf("%-8d %-24s %d (%.2f per CS entry)\n",
+			delta, latency, clean.WrapperMsgs, clean.WrapperMsgsPerEntry())
+	}
+
+	fmt.Println()
+	fmt.Println("pick δ near your request round-trip time: recovery stays prompt")
+	fmt.Println("while the consistent-state overhead collapses")
+}

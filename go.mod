@@ -1,0 +1,3 @@
+module github.com/graybox-stabilization/graybox
+
+go 1.22

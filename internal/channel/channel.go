@@ -1,0 +1,177 @@
+// Package channel models the interprocess channels of the TME system model:
+// FIFO queues subject to arbitrary-but-finite delay, whose contents faults
+// may lose, duplicate, or corrupt at any time (DSN 2001, §3.1).
+//
+// The queues here are pure data structures; delivery timing belongs to the
+// simulator (internal/sim) or the goroutine runtime (internal/runtime).
+package channel
+
+import "fmt"
+
+// FIFO is a first-in first-out queue of messages between one ordered pair of
+// processes. The zero value is an empty, usable queue.
+//
+// FIFO is not safe for concurrent use; the owning scheduler serializes
+// access.
+type FIFO[T any] struct {
+	items []T
+}
+
+// Len returns the number of queued messages.
+func (q *FIFO[T]) Len() int { return len(q.items) }
+
+// Empty reports whether the queue holds no messages.
+func (q *FIFO[T]) Empty() bool { return len(q.items) == 0 }
+
+// Send enqueues m at the tail.
+func (q *FIFO[T]) Send(m T) {
+	q.items = append(q.items, m)
+}
+
+// Recv dequeues the head message. ok is false when the queue is empty.
+func (q *FIFO[T]) Recv() (m T, ok bool) {
+	if len(q.items) == 0 {
+		return m, false
+	}
+	m = q.items[0]
+	// Shift rather than re-slice so the backing array does not pin
+	// delivered messages.
+	copy(q.items, q.items[1:])
+	q.items = q.items[:len(q.items)-1]
+	return m, true
+}
+
+// Peek returns the head message without removing it.
+func (q *FIFO[T]) Peek() (m T, ok bool) {
+	if len(q.items) == 0 {
+		return m, false
+	}
+	return q.items[0], true
+}
+
+// At returns the i-th queued message (0 = head). It panics if i is out of
+// range; callers index only within [0, Len()).
+func (q *FIFO[T]) At(i int) T { return q.items[i] }
+
+// Drop removes the i-th queued message, modelling message loss.
+// It returns false if i is out of range.
+func (q *FIFO[T]) Drop(i int) bool {
+	if i < 0 || i >= len(q.items) {
+		return false
+	}
+	q.items = append(q.items[:i], q.items[i+1:]...)
+	return true
+}
+
+// Duplicate inserts a copy of the i-th queued message immediately after it,
+// modelling message duplication. It returns false if i is out of range.
+func (q *FIFO[T]) Duplicate(i int) bool {
+	if i < 0 || i >= len(q.items) {
+		return false
+	}
+	q.items = append(q.items, *new(T))
+	copy(q.items[i+2:], q.items[i+1:])
+	q.items[i+1] = q.items[i]
+	return true
+}
+
+// Mutate applies f to the i-th queued message in place, modelling message
+// corruption. It returns false if i is out of range.
+func (q *FIFO[T]) Mutate(i int, f func(*T)) bool {
+	if i < 0 || i >= len(q.items) {
+		return false
+	}
+	f(&q.items[i])
+	return true
+}
+
+// Clear discards every queued message (channel flush / improper init).
+func (q *FIFO[T]) Clear() {
+	q.items = q.items[:0]
+}
+
+// Snapshot returns a copy of the queued messages, head first.
+func (q *FIFO[T]) Snapshot() []T {
+	out := make([]T, len(q.items))
+	copy(out, q.items)
+	return out
+}
+
+// Endpoint names one directed channel: from Src to Dst.
+type Endpoint struct {
+	Src, Dst int
+}
+
+// String renders the endpoint as "src->dst".
+func (e Endpoint) String() string { return fmt.Sprintf("%d->%d", e.Src, e.Dst) }
+
+// Net is the full mesh of directed FIFO channels among n processes. The
+// paper assumes the processes are connected; we model the complete graph,
+// which both RA ME and Lamport ME require (requests go to all processes).
+type Net[T any] struct {
+	n     int
+	chans map[Endpoint]*FIFO[T]
+}
+
+// NewNet returns a network of n processes with empty channels between every
+// ordered pair of distinct processes.
+func NewNet[T any](n int) *Net[T] {
+	nn := &Net[T]{n: n, chans: make(map[Endpoint]*FIFO[T], n*(n-1))}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i != j {
+				nn.chans[Endpoint{Src: i, Dst: j}] = &FIFO[T]{}
+			}
+		}
+	}
+	return nn
+}
+
+// N returns the number of processes.
+func (nn *Net[T]) N() int { return nn.n }
+
+// Chan returns the directed channel src→dst, or nil if the endpoint is
+// invalid (out of range or src == dst).
+func (nn *Net[T]) Chan(src, dst int) *FIFO[T] {
+	return nn.chans[Endpoint{Src: src, Dst: dst}]
+}
+
+// Send enqueues m on src→dst. It returns false for invalid endpoints.
+func (nn *Net[T]) Send(src, dst int, m T) bool {
+	q := nn.Chan(src, dst)
+	if q == nil {
+		return false
+	}
+	q.Send(m)
+	return true
+}
+
+// TotalQueued returns the number of messages in flight across all channels.
+func (nn *Net[T]) TotalQueued() int {
+	total := 0
+	for _, q := range nn.chans {
+		total += q.Len()
+	}
+	return total
+}
+
+// ClearAll flushes every channel (the "all channels are empty" Init state).
+func (nn *Net[T]) ClearAll() {
+	for _, q := range nn.chans {
+		q.Clear()
+	}
+}
+
+// Endpoints returns every directed endpoint in deterministic order
+// (src-major, then dst), for seeded fault injection and snapshots.
+func (nn *Net[T]) Endpoints() []Endpoint {
+	eps := make([]Endpoint, 0, nn.n*(nn.n-1))
+	for i := 0; i < nn.n; i++ {
+		for j := 0; j < nn.n; j++ {
+			if i != j {
+				eps = append(eps, Endpoint{Src: i, Dst: j})
+			}
+		}
+	}
+	return eps
+}

@@ -1,0 +1,243 @@
+package channel
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestFIFOOrder(t *testing.T) {
+	var q FIFO[int]
+	for i := 0; i < 10; i++ {
+		q.Send(i)
+	}
+	for i := 0; i < 10; i++ {
+		m, ok := q.Recv()
+		if !ok || m != i {
+			t.Fatalf("Recv #%d = (%d,%v), want (%d,true)", i, m, ok, i)
+		}
+	}
+	if _, ok := q.Recv(); ok {
+		t.Error("Recv on empty queue returned ok")
+	}
+}
+
+func TestFIFOZeroValueUsable(t *testing.T) {
+	var q FIFO[string]
+	if !q.Empty() || q.Len() != 0 {
+		t.Fatal("zero FIFO not empty")
+	}
+	q.Send("a")
+	if q.Empty() || q.Len() != 1 {
+		t.Fatal("Send on zero FIFO failed")
+	}
+}
+
+func TestPeekDoesNotConsume(t *testing.T) {
+	var q FIFO[int]
+	q.Send(7)
+	m, ok := q.Peek()
+	if !ok || m != 7 {
+		t.Fatalf("Peek = (%d,%v)", m, ok)
+	}
+	if q.Len() != 1 {
+		t.Fatal("Peek consumed the message")
+	}
+}
+
+func TestDrop(t *testing.T) {
+	var q FIFO[int]
+	for i := 0; i < 5; i++ {
+		q.Send(i)
+	}
+	if !q.Drop(2) {
+		t.Fatal("Drop(2) failed")
+	}
+	want := []int{0, 1, 3, 4}
+	got := q.Snapshot()
+	if len(got) != len(want) {
+		t.Fatalf("after Drop: %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("after Drop: %v, want %v", got, want)
+		}
+	}
+	if q.Drop(99) || q.Drop(-1) {
+		t.Error("Drop out of range returned true")
+	}
+}
+
+func TestDuplicate(t *testing.T) {
+	var q FIFO[int]
+	q.Send(1)
+	q.Send(2)
+	q.Send(3)
+	if !q.Duplicate(1) {
+		t.Fatal("Duplicate(1) failed")
+	}
+	want := []int{1, 2, 2, 3}
+	got := q.Snapshot()
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("after Duplicate: %v, want %v", got, want)
+		}
+	}
+	if q.Duplicate(10) {
+		t.Error("Duplicate out of range returned true")
+	}
+}
+
+func TestMutate(t *testing.T) {
+	var q FIFO[int]
+	q.Send(5)
+	if !q.Mutate(0, func(m *int) { *m = 99 }) {
+		t.Fatal("Mutate failed")
+	}
+	m, _ := q.Peek()
+	if m != 99 {
+		t.Errorf("after Mutate: head = %d, want 99", m)
+	}
+	if q.Mutate(3, func(*int) {}) {
+		t.Error("Mutate out of range returned true")
+	}
+}
+
+func TestClear(t *testing.T) {
+	var q FIFO[int]
+	q.Send(1)
+	q.Send(2)
+	q.Clear()
+	if !q.Empty() {
+		t.Error("Clear left messages queued")
+	}
+}
+
+func TestSnapshotIsACopy(t *testing.T) {
+	var q FIFO[int]
+	q.Send(1)
+	s := q.Snapshot()
+	s[0] = 42
+	m, _ := q.Peek()
+	if m != 1 {
+		t.Error("Snapshot aliases queue storage")
+	}
+}
+
+// Property: any interleaving of sends and receives preserves FIFO order.
+func TestFIFOOrderProperty(t *testing.T) {
+	f := func(ops []bool, seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var q FIFO[int]
+		next := 0     // next value to send
+		expected := 0 // next value we must receive
+		for range ops {
+			if rng.Intn(2) == 0 {
+				q.Send(next)
+				next++
+			} else if m, ok := q.Recv(); ok {
+				if m != expected {
+					return false
+				}
+				expected++
+			}
+		}
+		for {
+			m, ok := q.Recv()
+			if !ok {
+				break
+			}
+			if m != expected {
+				return false
+			}
+			expected++
+		}
+		return expected == next
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Drop/Duplicate/Clear never break the relative order of the
+// surviving original messages (FIFO channels stay FIFO under faults).
+func TestFaultsPreserveRelativeOrderProperty(t *testing.T) {
+	f := func(nMsgs uint8, faults []uint8, seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var q FIFO[int]
+		n := int(nMsgs%20) + 1
+		for i := 0; i < n; i++ {
+			q.Send(i)
+		}
+		for _, fop := range faults {
+			if q.Len() == 0 {
+				break
+			}
+			i := rng.Intn(q.Len())
+			switch fop % 2 {
+			case 0:
+				q.Drop(i)
+			case 1:
+				q.Duplicate(i)
+			}
+		}
+		// Surviving sequence must be non-decreasing.
+		prev := -1
+		for _, m := range q.Snapshot() {
+			if m < prev {
+				return false
+			}
+			prev = m
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNetFullMesh(t *testing.T) {
+	nn := NewNet[int](4)
+	if nn.N() != 4 {
+		t.Fatalf("N = %d", nn.N())
+	}
+	eps := nn.Endpoints()
+	if len(eps) != 12 {
+		t.Fatalf("Endpoints = %d, want 12", len(eps))
+	}
+	for _, e := range eps {
+		if nn.Chan(e.Src, e.Dst) == nil {
+			t.Fatalf("missing channel %v", e)
+		}
+	}
+	if nn.Chan(0, 0) != nil {
+		t.Error("self channel exists")
+	}
+	if nn.Chan(0, 99) != nil {
+		t.Error("out-of-range channel exists")
+	}
+}
+
+func TestNetSendAndTotals(t *testing.T) {
+	nn := NewNet[string](3)
+	if !nn.Send(0, 1, "a") || !nn.Send(1, 2, "b") {
+		t.Fatal("Send failed")
+	}
+	if nn.Send(0, 0, "self") {
+		t.Error("Send to self succeeded")
+	}
+	if got := nn.TotalQueued(); got != 2 {
+		t.Errorf("TotalQueued = %d, want 2", got)
+	}
+	nn.ClearAll()
+	if got := nn.TotalQueued(); got != 0 {
+		t.Errorf("after ClearAll: TotalQueued = %d", got)
+	}
+}
+
+func TestEndpointString(t *testing.T) {
+	e := Endpoint{Src: 1, Dst: 2}
+	if e.String() != "1->2" {
+		t.Errorf("String = %q", e.String())
+	}
+}

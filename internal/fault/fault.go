@@ -1,0 +1,287 @@
+// Package fault injects the TME fault model of DSN 2001 §3.1 into a
+// simulation: messages corrupted, lost, or duplicated at any time; process
+// and channel state transiently (and arbitrarily) corrupted; improper
+// initialization. All choices are drawn from a seeded source, so a faulty
+// run remains a deterministic function of its seeds.
+//
+// Faults are transient and finite in number — exactly the premise under
+// which stabilization is claimed. The injector never touches anything after
+// its last scheduled burst, so "convergence time after the last fault" is
+// well defined.
+package fault
+
+import (
+	"math/rand"
+
+	"github.com/graybox-stabilization/graybox/internal/channel"
+	"github.com/graybox-stabilization/graybox/internal/ltime"
+	"github.com/graybox-stabilization/graybox/internal/sim"
+	"github.com/graybox-stabilization/graybox/internal/tme"
+)
+
+// Kind enumerates the fault classes of the paper's fault model.
+type Kind int
+
+// Fault classes.
+const (
+	// MessageLoss drops one in-flight message.
+	MessageLoss Kind = iota + 1
+	// MessageDup duplicates one in-flight message.
+	MessageDup
+	// MessageCorrupt overwrites fields of one in-flight message.
+	MessageCorrupt
+	// StateCorrupt transiently corrupts one process's state.
+	StateCorrupt
+	// ChannelFlush empties one channel (modelling channel failure).
+	ChannelFlush
+)
+
+// String names the fault class.
+func (k Kind) String() string {
+	switch k {
+	case MessageLoss:
+		return "loss"
+	case MessageDup:
+		return "dup"
+	case MessageCorrupt:
+		return "corrupt"
+	case StateCorrupt:
+		return "state"
+	case ChannelFlush:
+		return "flush"
+	default:
+		return "unknown"
+	}
+}
+
+// Mix weights the fault classes within a burst. Zero weights exclude a
+// class; an all-zero Mix defaults to uniform over all classes.
+type Mix struct {
+	Loss, Dup, Corrupt, State, Flush int
+}
+
+// DefaultMix exercises every fault class equally.
+var DefaultMix = Mix{Loss: 1, Dup: 1, Corrupt: 1, State: 1, Flush: 1}
+
+func (m Mix) total() int { return m.Loss + m.Dup + m.Corrupt + m.State + m.Flush }
+
+// pick draws a fault class according to the weights.
+func (m Mix) pick(rng *rand.Rand) Kind {
+	if m.total() == 0 {
+		m = DefaultMix
+	}
+	r := rng.Intn(m.total())
+	switch {
+	case r < m.Loss:
+		return MessageLoss
+	case r < m.Loss+m.Dup:
+		return MessageDup
+	case r < m.Loss+m.Dup+m.Corrupt:
+		return MessageCorrupt
+	case r < m.Loss+m.Dup+m.Corrupt+m.State:
+		return StateCorrupt
+	default:
+		return ChannelFlush
+	}
+}
+
+// Options tune the injector.
+type Options struct {
+	// AllowInvalidPhase lets StateCorrupt set phases outside {t,h,e},
+	// breaking Structural Spec. Off by default: the paper's Lspec
+	// implementations maintain structure, and repairing sub-Lspec damage
+	// is the (extension) job of level-1 wrappers.
+	AllowInvalidPhase bool
+	// MaxClock bounds forged timestamp clocks. Default 64.
+	MaxClock uint64
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxClock == 0 {
+		o.MaxClock = 64
+	}
+	return o
+}
+
+// Injector applies faults to a simulation. Construct with NewInjector.
+type Injector struct {
+	rng   *rand.Rand
+	mix   Mix
+	opts  Options
+	count int
+}
+
+// NewInjector returns an injector drawing from the given seed and mix.
+func NewInjector(seed int64, mix Mix, opts Options) *Injector {
+	return &Injector{rng: rand.New(rand.NewSource(seed)), mix: mix, opts: opts.withDefaults()}
+}
+
+// Count returns how many faults have been applied so far.
+func (in *Injector) Count() int { return in.count }
+
+// Burst applies n faults to s immediately (at the current virtual time).
+func (in *Injector) Burst(s *sim.Sim, n int) {
+	for i := 0; i < n; i++ {
+		in.one(s)
+	}
+}
+
+// Schedule arranges count faults at each of the given times.
+func (in *Injector) Schedule(s *sim.Sim, times []int64, countPerBurst int) {
+	for _, t := range times {
+		t := t
+		s.At(t, func(s *sim.Sim) { in.Burst(s, countPerBurst) })
+	}
+}
+
+// one applies a single randomly chosen fault.
+func (in *Injector) one(s *sim.Sim) {
+	in.count++
+	switch in.mix.pick(in.rng) {
+	case MessageLoss:
+		in.loss(s)
+	case MessageDup:
+		in.dup(s)
+	case MessageCorrupt:
+		in.corrupt(s)
+	case StateCorrupt:
+		in.state(s)
+	case ChannelFlush:
+		in.flush(s)
+	}
+}
+
+// nonEmptyChannel picks a uniformly random non-empty channel, or ok=false
+// when all channels are empty.
+func (in *Injector) nonEmptyChannel(s *sim.Sim) (channel.Endpoint, bool) {
+	var candidates []channel.Endpoint
+	for _, ep := range s.Net().Endpoints() {
+		if !s.Net().Chan(ep.Src, ep.Dst).Empty() {
+			candidates = append(candidates, ep)
+		}
+	}
+	if len(candidates) == 0 {
+		return channel.Endpoint{}, false
+	}
+	return candidates[in.rng.Intn(len(candidates))], true
+}
+
+func (in *Injector) loss(s *sim.Sim) {
+	ep, ok := in.nonEmptyChannel(s)
+	if !ok {
+		return
+	}
+	q := s.Net().Chan(ep.Src, ep.Dst)
+	q.Drop(in.rng.Intn(q.Len()))
+}
+
+func (in *Injector) dup(s *sim.Sim) {
+	ep, ok := in.nonEmptyChannel(s)
+	if !ok {
+		return
+	}
+	q := s.Net().Chan(ep.Src, ep.Dst)
+	q.Duplicate(in.rng.Intn(q.Len()))
+	// The copy needs its own delivery opportunity.
+	s.ScheduleDelivery(ep, 1+in.rng.Int63n(5))
+}
+
+func (in *Injector) corrupt(s *sim.Sim) {
+	ep, ok := in.nonEmptyChannel(s)
+	if !ok {
+		return
+	}
+	q := s.Net().Chan(ep.Src, ep.Dst)
+	q.Mutate(in.rng.Intn(q.Len()), func(m *tme.Message) {
+		switch in.rng.Intn(3) {
+		case 0:
+			m.TS = in.randomTS(in.rng.Intn(s.N()))
+		case 1:
+			m.Kind = tme.Kind(in.rng.Intn(4)) // may be invalid: receivers drop it
+		case 2:
+			m.From = in.rng.Intn(s.N() + 1) // may be out of range
+		}
+	})
+}
+
+func (in *Injector) state(s *sim.Sim) {
+	id := in.rng.Intn(s.N())
+	node, ok := s.Node(id).(tme.Corruptible)
+	if !ok {
+		return
+	}
+	node.Corrupt(in.RandomCorruption(id, s.N()))
+}
+
+func (in *Injector) flush(s *sim.Sim) {
+	ep, ok := in.nonEmptyChannel(s)
+	if !ok {
+		return
+	}
+	s.Net().Chan(ep.Src, ep.Dst).Clear()
+}
+
+func (in *Injector) randomTS(pid int) ltime.Timestamp {
+	return ltime.Timestamp{Clock: uint64(in.rng.Int63n(int64(in.opts.MaxClock))), PID: pid}
+}
+
+// RandomCorruption builds an arbitrary transient state corruption for
+// process id of n, drawn from the injector's source.
+func (in *Injector) RandomCorruption(id, n int) tme.Corruption {
+	c := tme.Corruption{Seed: in.rng.Int63()}
+	if in.rng.Intn(2) == 0 {
+		if in.opts.AllowInvalidPhase && in.rng.Intn(4) == 0 {
+			c.Phase = tme.Phase(4 + in.rng.Intn(8))
+		} else {
+			c.Phase = tme.Phase(1 + in.rng.Intn(3))
+		}
+	}
+	if in.rng.Intn(2) == 0 {
+		ts := in.randomTS(id)
+		c.REQ = &ts
+	}
+	if in.rng.Intn(2) == 0 {
+		c.LocalREQ = make(map[int]ltime.Timestamp)
+		for k := 0; k < n; k++ {
+			if k != id && in.rng.Intn(2) == 0 {
+				c.LocalREQ[k] = in.randomTS(k)
+			}
+		}
+	}
+	for k := 0; k < n; k++ {
+		if k == id {
+			continue
+		}
+		switch in.rng.Intn(4) {
+		case 0:
+			c.DropReceived = append(c.DropReceived, k)
+		case 1:
+			c.ForgeReceived = append(c.ForgeReceived, k)
+		}
+	}
+	if in.rng.Intn(3) == 0 {
+		clk := uint64(in.rng.Int63n(int64(in.opts.MaxClock)))
+		c.Clock = &clk
+	}
+	if in.rng.Intn(3) == 0 {
+		c.ScrambleInternal = true
+	}
+	return c
+}
+
+// DropAllInFlight clears every channel — the paper's §4 deadlock scenario
+// generator when applied while requests are in flight.
+func DropAllInFlight(s *sim.Sim) {
+	s.Net().ClearAll()
+}
+
+// ImproperInit corrupts every process before the run starts, modelling
+// arbitrary (improper) initialization. Call it before s.Run.
+func ImproperInit(s *sim.Sim, seed int64, opts Options) {
+	in := NewInjector(seed, Mix{State: 1}, opts)
+	for i := 0; i < s.N(); i++ {
+		if node, ok := s.Node(i).(tme.Corruptible); ok {
+			node.Corrupt(in.RandomCorruption(i, s.N()))
+		}
+	}
+}

@@ -1,0 +1,204 @@
+package fault
+
+import (
+	"testing"
+
+	"github.com/graybox-stabilization/graybox/internal/ra"
+	"github.com/graybox-stabilization/graybox/internal/sim"
+	"github.com/graybox-stabilization/graybox/internal/tme"
+	"github.com/graybox-stabilization/graybox/internal/wrapper"
+)
+
+func raSim(seed int64, wrapped bool) *sim.Sim {
+	cfg := sim.Config{
+		N:        3,
+		Seed:     seed,
+		NewNode:  func(id, n int) tme.Node { return ra.New(id, n) },
+		Workload: true,
+	}
+	if wrapped {
+		cfg.NewWrapper = func(int) wrapper.Level2 { return wrapper.NewTimed(5) }
+	}
+	return sim.New(cfg)
+}
+
+func TestKindString(t *testing.T) {
+	kinds := map[Kind]string{
+		MessageLoss: "loss", MessageDup: "dup", MessageCorrupt: "corrupt",
+		StateCorrupt: "state", ChannelFlush: "flush", Kind(0): "unknown",
+	}
+	for k, want := range kinds {
+		if got := k.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", int(k), got, want)
+		}
+	}
+}
+
+func TestMixPickRespectsZeroWeights(t *testing.T) {
+	in := NewInjector(1, Mix{Loss: 1}, Options{})
+	for i := 0; i < 100; i++ {
+		if k := in.mix.pick(in.rng); k != MessageLoss {
+			t.Fatalf("pick = %v with loss-only mix", k)
+		}
+	}
+}
+
+func TestMixPickAllZeroDefaultsUniform(t *testing.T) {
+	in := NewInjector(2, Mix{}, Options{})
+	seen := map[Kind]bool{}
+	for i := 0; i < 500; i++ {
+		seen[in.mix.pick(in.rng)] = true
+	}
+	for _, k := range []Kind{MessageLoss, MessageDup, MessageCorrupt, StateCorrupt, ChannelFlush} {
+		if !seen[k] {
+			t.Errorf("class %v never drawn from the default mix", k)
+		}
+	}
+}
+
+func TestBurstCountsFaults(t *testing.T) {
+	s := raSim(1, false)
+	in := NewInjector(7, DefaultMix, Options{})
+	s.At(10, func(s *sim.Sim) { in.Burst(s, 5) })
+	s.Run(20)
+	if in.Count() != 5 {
+		t.Errorf("Count = %d, want 5", in.Count())
+	}
+}
+
+func TestScheduleInstallsBursts(t *testing.T) {
+	s := raSim(2, false)
+	in := NewInjector(8, DefaultMix, Options{})
+	in.Schedule(s, []int64{10, 20, 30}, 2)
+	s.Run(40)
+	if in.Count() != 6 {
+		t.Errorf("Count = %d, want 6", in.Count())
+	}
+}
+
+func TestMessageFaultsOnEmptyNetworkAreNoops(t *testing.T) {
+	s := sim.New(sim.Config{
+		N:       2,
+		Seed:    3,
+		NewNode: func(id, n int) tme.Node { return ra.New(id, n) },
+	})
+	in := NewInjector(9, Mix{Loss: 1, Dup: 1, Corrupt: 1, Flush: 1}, Options{})
+	s.At(0, func(s *sim.Sim) { in.Burst(s, 20) })
+	s.Run(10)
+	// Nothing to assert beyond not panicking and channels staying empty.
+	if s.Net().TotalQueued() != 0 {
+		t.Error("faults materialized messages from nothing")
+	}
+}
+
+func TestStateCorruptChangesSomethingEventually(t *testing.T) {
+	s := raSim(4, false)
+	before := tme.Snapshot(s.Node(0))
+	in := NewInjector(10, Mix{State: 1}, Options{})
+	changed := false
+	for i := 0; i < 20 && !changed; i++ {
+		in.Burst(s, 3)
+		for id := 0; id < s.N(); id++ {
+			after := tme.Snapshot(s.Node(id))
+			if after.Phase != before.Phase || after.REQ != before.REQ {
+				changed = true
+			}
+		}
+	}
+	if !changed {
+		t.Error("30 state faults changed nothing observable")
+	}
+}
+
+func TestInvalidPhaseOnlyWhenAllowed(t *testing.T) {
+	in := NewInjector(11, Mix{State: 1}, Options{})
+	for i := 0; i < 300; i++ {
+		c := in.RandomCorruption(0, 3)
+		if c.Phase != 0 && !c.Phase.Valid() {
+			t.Fatal("invalid phase produced without AllowInvalidPhase")
+		}
+	}
+	in2 := NewInjector(11, Mix{State: 1}, Options{AllowInvalidPhase: true})
+	sawInvalid := false
+	for i := 0; i < 300; i++ {
+		c := in2.RandomCorruption(0, 3)
+		if c.Phase != 0 && !c.Phase.Valid() {
+			sawInvalid = true
+		}
+	}
+	if !sawInvalid {
+		t.Error("AllowInvalidPhase never produced an invalid phase")
+	}
+}
+
+func TestDeterministicInjection(t *testing.T) {
+	run := func() (int, int) {
+		s := raSim(5, true)
+		in := NewInjector(12, DefaultMix, Options{})
+		in.Schedule(s, []int64{50, 100}, 10)
+		s.Run(2000)
+		return len(s.Metrics().Entries), s.Metrics().ProgramMsgs
+	}
+	e1, p1 := run()
+	e2, p2 := run()
+	if e1 != e2 || p1 != p2 {
+		t.Errorf("same seeds diverged: (%d,%d) vs (%d,%d)", e1, p1, e2, p2)
+	}
+}
+
+// Theorem 8 at system scale: a wrapped RA system subjected to heavy fault
+// bursts keeps making progress afterwards.
+func TestWrappedSystemSurvivesBursts(t *testing.T) {
+	s := raSim(6, true)
+	in := NewInjector(13, DefaultMix, Options{})
+	in.Schedule(s, []int64{100, 150, 200}, 15)
+	s.Run(5000)
+	var after int
+	for _, e := range s.Metrics().Entries {
+		if e.Time > 200 {
+			after++
+		}
+	}
+	if after == 0 {
+		t.Fatal("no CS entries after the last fault burst — wrapped system did not recover")
+	}
+}
+
+func TestImproperInit(t *testing.T) {
+	s := raSim(7, true)
+	ImproperInit(s, 21, Options{})
+	// At least one node should start in a non-Init state.
+	perturbed := false
+	for i := 0; i < s.N(); i++ {
+		snap := tme.Snapshot(s.Node(i))
+		if snap.Phase != tme.Thinking || !snap.REQ.IsZero() {
+			perturbed = true
+		}
+		for k := range snap.Local {
+			if !snap.Local[k].IsZero() || snap.Received[k] {
+				perturbed = true
+			}
+		}
+	}
+	if !perturbed {
+		t.Error("ImproperInit left every node in the Init state")
+	}
+	// And the wrapped system still converges to progress.
+	s.Run(5000)
+	if len(s.Metrics().Entries) == 0 {
+		t.Fatal("no entries after improper initialization with wrapper")
+	}
+}
+
+func TestDropAllInFlight(t *testing.T) {
+	s := raSim(8, false)
+	s.Request(0)
+	s.Run(0)
+	if s.Net().TotalQueued() == 0 {
+		t.Fatal("no in-flight messages to drop")
+	}
+	DropAllInFlight(s)
+	if s.Net().TotalQueued() != 0 {
+		t.Error("DropAllInFlight left messages queued")
+	}
+}

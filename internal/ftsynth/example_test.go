@@ -1,0 +1,37 @@
+package ftsynth_test
+
+import (
+	"fmt"
+
+	"github.com/graybox-stabilization/graybox/internal/ftsynth"
+	"github.com/graybox-stabilization/graybox/internal/graybox"
+)
+
+// ExampleSynthesizeMasking adds masking fault-tolerance to a 5-state spec:
+// a fault kicks the system into a perturbed state that could slide into a
+// bad state; the synthesized tolerance prunes the slide and installs a
+// recovery transition.
+func ExampleSynthesizeMasking() {
+	spec := graybox.NewBuilder("demo", 5).
+		AddChain(0, 1, 2, 0). // legitimate ring
+		AddTransition(3, 4).  // unsafe slide
+		AddTransition(3, 0).  // safe return
+		AddTransition(4, 4).
+		SetInit(0).
+		MustBuild()
+	p := ftsynth.Problem{
+		Spec:   spec,
+		Faults: [][2]int{{1, 3}},
+		Bad:    []bool{false, false, false, false, true},
+	}
+	m, err := ftsynth.SynthesizeMasking(p)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println("recovery from 3:", m.Recovery(3))
+	fmt.Println("verified:", ftsynth.VerifyMasking(p, m.Apply(spec)) == "")
+	// Output:
+	// recovery from 3: 0
+	// verified: true
+}

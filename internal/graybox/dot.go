@@ -1,0 +1,53 @@
+package graybox
+
+import (
+	"fmt"
+	"io"
+)
+
+// WriteDOT renders the system as a Graphviz digraph: initial states are
+// drawn as double circles, legitimate (init-reachable) states are filled,
+// and when highlight is non-nil its transitions are drawn bold red —
+// callers pass a Lasso's cycle edges to visualize a stabilization
+// counterexample.
+func (s *System) WriteDOT(w io.Writer, highlight map[[2]int]bool) error {
+	legit := s.Legitimate()
+	if _, err := fmt.Fprintf(w, "digraph %q {\n  rankdir=LR;\n", s.name); err != nil {
+		return err
+	}
+	for u := 0; u < s.n; u++ {
+		shape := "circle"
+		if s.IsInit(u) {
+			shape = "doublecircle"
+		}
+		style := ""
+		if legit[u] {
+			style = ` style=filled fillcolor="#e8f4e8"`
+		}
+		if _, err := fmt.Fprintf(w, "  %d [shape=%s%s];\n", u, shape, style); err != nil {
+			return err
+		}
+	}
+	for _, e := range s.Transitions() {
+		attr := ""
+		if highlight[[2]int{e[0], e[1]}] {
+			attr = ` [color=red penwidth=2]`
+		}
+		if _, err := fmt.Fprintf(w, "  %d -> %d%s;\n", e[0], e[1], attr); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w, "}")
+	return err
+}
+
+// Edges returns the lasso's transitions (cycle steps plus the closing bad
+// edge) as a set suitable for WriteDOT's highlight parameter.
+func (l *Lasso) Edges() map[[2]int]bool {
+	out := make(map[[2]int]bool, len(l.Cycle)+1)
+	for i := 0; i+1 < len(l.Cycle); i++ {
+		out[[2]int{l.Cycle[i], l.Cycle[i+1]}] = true
+	}
+	out[l.BadEdge] = true
+	return out
+}

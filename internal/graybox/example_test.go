@@ -1,0 +1,60 @@
+package graybox_test
+
+import (
+	"fmt"
+
+	"github.com/graybox-stabilization/graybox/internal/graybox"
+)
+
+// ExampleStabilizingTo reproduces the paper's Figure 1 in four lines: C
+// implements A from initial states and A is self-stabilizing, yet C is not
+// stabilizing to A.
+func ExampleStabilizingTo() {
+	a, c := graybox.Fig1A(), graybox.Fig1C()
+	fmt.Println("C implements A (init):", graybox.Implements(c, a).Holds)
+	okA, _ := graybox.SelfStabilizing(a)
+	fmt.Println("A stabilizing to A:   ", okA)
+	okC, lasso := graybox.StabilizingTo(c, a)
+	fmt.Println("C stabilizing to A:   ", okC, "—", lasso)
+	// Output:
+	// C implements A (init): true
+	// A stabilizing to A:    true
+	// C stabilizing to A:    false — lasso cycle [4] with bad transition 4->4
+}
+
+// ExampleBox composes a system with a wrapper: the box operator is the
+// union of the transition relations with the common initial states.
+func ExampleBox() {
+	c := graybox.NewBuilder("C", 2).
+		AddTransition(0, 0).AddTransition(1, 1).SetInit(0).MustBuild()
+	w := graybox.NewBuilder("W", 2).
+		AddTransition(1, 0). // the wrapper's recovery action
+		SetInit(0).Totalize().MustBuild()
+	cw, err := graybox.Box(c, w)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println(cw.Name(), "has", cw.NumTransitions(), "transitions")
+	fmt.Println("recovery 1->0 present:", cw.HasTransition(1, 0))
+	// Output:
+	// C [] W has 3 transitions
+	// recovery 1->0 present: true
+}
+
+// ExampleProduct builds the asynchronous product of two local systems —
+// the formal meaning of a distributed system in the paper's framework.
+func ExampleProduct() {
+	toggle := graybox.NewBuilder("toggle", 2).
+		AddTransition(0, 1).AddTransition(1, 0).SetInit(0).MustBuild()
+	counter := graybox.NewBuilder("counter", 3).
+		AddChain(0, 1, 2).AddTransition(2, 2).SetInit(0).MustBuild()
+	p, err := graybox.Product("sys", toggle, counter)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println("states:", p.NumStates(), "inits:", p.Init())
+	// Output:
+	// states: 6 inits: [0]
+}

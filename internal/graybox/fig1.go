@@ -1,0 +1,88 @@
+package graybox
+
+import "math/rand"
+
+// State names for the Figure 1 counterexample of the paper.
+const (
+	Fig1S0 = iota
+	Fig1S1
+	Fig1S2
+	Fig1S3
+	Fig1Star // s*, the state the transient fault F yields from s0
+	fig1N
+)
+
+// Fig1A returns the specification A of Figure 1: the chain s0→s1→s2→s3→s3…
+// from the initial state s0, plus the recovery transition s*→s2. A is
+// stabilizing to A: from s*, its computation s*,s2,s3,… has the suffix
+// s2,s3,… of the initialized computation.
+func Fig1A() *System {
+	return NewBuilder("A(fig1)", fig1N).
+		AddChain(Fig1S0, Fig1S1, Fig1S2, Fig1S3).
+		AddTransition(Fig1S3, Fig1S3).
+		AddTransition(Fig1Star, Fig1S2).
+		SetInit(Fig1S0).
+		MustBuild()
+}
+
+// Fig1C returns the implementation C of Figure 1: identical to A from the
+// initial state (so [C ⇒ A]_init holds) but from s* it loops forever, so C
+// is not stabilizing to A — although A is stabilizing to A. This is the
+// paper's demonstration that init-relative implementation does not transfer
+// stabilization, motivating everywhere specifications.
+func Fig1C() *System {
+	return NewBuilder("C(fig1)", fig1N).
+		AddChain(Fig1S0, Fig1S1, Fig1S2, Fig1S3).
+		AddTransition(Fig1S3, Fig1S3).
+		AddTransition(Fig1Star, Fig1Star).
+		SetInit(Fig1S0).
+		MustBuild()
+}
+
+// Random returns a random total transition system over n states with the
+// given average out-degree (≥1) and one random initial state, suitable for
+// property testing the framework's lemmas. The generator is deterministic
+// in rng.
+func Random(rng *rand.Rand, name string, n int, avgDegree float64) *System {
+	if n < 1 {
+		n = 1
+	}
+	if avgDegree < 1 {
+		avgDegree = 1
+	}
+	b := NewBuilder(name, n)
+	for u := 0; u < n; u++ {
+		// Guarantee totality with one successor, then add extras.
+		b.AddTransition(u, rng.Intn(n))
+		extra := int(avgDegree) - 1
+		if rng.Float64() < avgDegree-float64(int(avgDegree)) {
+			extra++
+		}
+		for e := 0; e < extra; e++ {
+			b.AddTransition(u, rng.Intn(n))
+		}
+	}
+	b.SetInit(rng.Intn(n))
+	return b.MustBuild()
+}
+
+// RandomSub returns a random everywhere-implementation of a: a system whose
+// transitions are a nonempty total subset of a's transitions and whose
+// initial states are a subset of a's (so both [C ⇒ A] and [C ⇒ A]_init
+// hold by construction). Used to property-test Lemma 0 and Theorem 1.
+func RandomSub(rng *rand.Rand, name string, a *System) *System {
+	b := NewBuilder(name, a.n)
+	for u := 0; u < a.n; u++ {
+		succs := a.adj[u]
+		// Keep a random nonempty subset of successors.
+		keep := succs[rng.Intn(len(succs))]
+		b.AddTransition(u, keep)
+		for _, v := range succs {
+			if rng.Intn(2) == 0 {
+				b.AddTransition(u, v)
+			}
+		}
+	}
+	b.SetInit(a.init...)
+	return b.MustBuild()
+}

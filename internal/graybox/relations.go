@@ -1,0 +1,284 @@
+package graybox
+
+import "fmt"
+
+// ImplementsResult reports the outcome of an implements query, carrying a
+// counterexample when the relation fails to hold.
+type ImplementsResult struct {
+	// Holds is true when the relation holds.
+	Holds bool
+	// BadInit, when ≥0, is an initial state of C that is not initial in A.
+	BadInit int
+	// BadEdge, when non-nil, is a transition of C absent from A (reachable
+	// from init(C) for the init-relative query).
+	BadEdge *[2]int
+}
+
+func (r ImplementsResult) String() string {
+	switch {
+	case r.Holds:
+		return "holds"
+	case r.BadInit >= 0:
+		return fmt.Sprintf("fails: initial state %d of C not initial in A", r.BadInit)
+	case r.BadEdge != nil:
+		return fmt.Sprintf("fails: transition %d->%d of C absent from A", r.BadEdge[0], r.BadEdge[1])
+	default:
+		return "fails"
+	}
+}
+
+// Implements decides [C ⇒ A]_init: every computation of C from an initial
+// state of C is a computation of A from an initial state of A. Both systems
+// must share the state space (states are identified by index, as in the
+// paper's Figure 1 where A and C range over the same Σ).
+func Implements(c, a *System) ImplementsResult {
+	res := ImplementsResult{BadInit: -1}
+	for _, u := range c.init {
+		if !a.IsInit(u) {
+			res.BadInit = u
+			return res
+		}
+	}
+	reach := c.Reachable(c.init)
+	for u := 0; u < c.n; u++ {
+		if !reach[u] {
+			continue
+		}
+		for _, v := range c.adj[u] {
+			if !a.HasTransition(u, v) {
+				e := [2]int{u, v}
+				res.BadEdge = &e
+				return res
+			}
+		}
+	}
+	res.Holds = true
+	return res
+}
+
+// EverywhereImplements decides [C ⇒ A]: every computation of C (from any
+// state) is a computation of A. For transition systems this is transition
+// containment: trans(C) ⊆ trans(A).
+func EverywhereImplements(c, a *System) ImplementsResult {
+	res := ImplementsResult{BadInit: -1}
+	for u := 0; u < c.n; u++ {
+		for _, v := range c.adj[u] {
+			if !a.HasTransition(u, v) {
+				e := [2]int{u, v}
+				res.BadEdge = &e
+				return res
+			}
+		}
+	}
+	res.Holds = true
+	return res
+}
+
+// Box returns C ▯ W: the system whose computation set is the smallest
+// fusion-closed set containing the computations of C and of W, i.e. the
+// path set of the union transition relation, with the common initial states.
+//
+// Both systems must share the state space; Box returns an error if the
+// sizes differ or the composed system has no common initial state (the
+// paper's ▯ requires common initial states to exist for initialized
+// computations to be defined; every state still has computations since the
+// union of total relations is total).
+func Box(c, w *System) (*System, error) {
+	if c.n != w.n {
+		return nil, fmt.Errorf("graybox: box over mismatched state spaces (%d vs %d)", c.n, w.n)
+	}
+	b := NewBuilder(c.name+" [] "+w.name, c.n)
+	for u := 0; u < c.n; u++ {
+		for _, v := range c.adj[u] {
+			b.AddTransition(u, v)
+		}
+		for _, v := range w.adj[u] {
+			b.AddTransition(u, v)
+		}
+	}
+	for _, u := range c.init {
+		if w.IsInit(u) {
+			b.SetInit(u)
+		}
+	}
+	sys, err := b.Build()
+	if err != nil {
+		return nil, fmt.Errorf("graybox: box: %w", err)
+	}
+	return sys, nil
+}
+
+// Lasso is a counterexample to stabilization: an infinite computation of C
+// shaped as a stem followed by a cycle repeated forever, which never settles
+// into a legitimate suffix of A.
+type Lasso struct {
+	// Cycle is the repeated state sequence; Cycle[len-1] → Cycle[0] closes
+	// it. At least one transition along the cycle is "bad": not an
+	// A-transition within A's legitimate set.
+	Cycle []int
+	// BadEdge is one offending transition on the cycle.
+	BadEdge [2]int
+}
+
+func (l *Lasso) String() string {
+	return fmt.Sprintf("lasso cycle %v with bad transition %d->%d", l.Cycle, l.BadEdge[0], l.BadEdge[1])
+}
+
+// StabilizingTo decides whether C is stabilizing to A: every computation of
+// C has a suffix that is a suffix of some computation of A starting at an
+// initial state of A. When it fails, a Lasso counterexample is returned.
+//
+// Method: let L = Reach_A(init(A)). A transition (u,v) of C is good iff it
+// is an A-transition with u,v ∈ L. A computation stabilizes iff it
+// eventually uses only good transitions; C fails to stabilize iff some
+// cycle of C contains a bad transition (looping that cycle forever uses bad
+// transitions infinitely often). Cycles through a bad edge (u,v) exist iff
+// v reaches u in C.
+func StabilizingTo(c, a *System) (bool, *Lasso) {
+	if c.n != a.n {
+		// Disjoint state spaces: no computation of C is ever an
+		// A-suffix; report a trivial lasso on C's first cycle.
+		// (Callers compare systems over a shared Σ; this is defensive.)
+		return false, &Lasso{Cycle: []int{0}, BadEdge: [2]int{0, c.adj[0][0]}}
+	}
+	legit := a.Legitimate()
+	good := func(u, v int) bool {
+		return legit[u] && legit[v] && a.HasTransition(u, v)
+	}
+	// SCC decomposition of C (Tarjan, iterative).
+	scc := tarjanSCC(c)
+	for u := 0; u < c.n; u++ {
+		for _, v := range c.adj[u] {
+			if good(u, v) {
+				continue
+			}
+			// Bad edge (u,v) lies on a cycle iff v can reach u.
+			if u == v || (scc[u] == scc[v]) {
+				return false, &Lasso{Cycle: cyclePath(c, v, u), BadEdge: [2]int{u, v}}
+			}
+		}
+	}
+	return true, nil
+}
+
+// SelfStabilizing reports whether A is stabilizing to A (every computation
+// converges to a legitimate suffix of A itself).
+func SelfStabilizing(a *System) (bool, *Lasso) { return StabilizingTo(a, a) }
+
+// tarjanSCC returns the SCC id of every state, using an iterative Tarjan's
+// algorithm (no recursion, safe for large models).
+func tarjanSCC(s *System) []int {
+	const unvisited = -1
+	n := s.n
+	index := make([]int, n)
+	low := make([]int, n)
+	comp := make([]int, n)
+	onStack := make([]bool, n)
+	for i := range index {
+		index[i] = unvisited
+		comp[i] = unvisited
+	}
+	var (
+		stack []int // Tarjan stack
+		next  = 0   // next DFS index
+		nComp = 0
+		callU []int // DFS call stack: state
+		callI []int // DFS call stack: next child position
+	)
+	for root := 0; root < n; root++ {
+		if index[root] != unvisited {
+			continue
+		}
+		callU = append(callU[:0], root)
+		callI = append(callI[:0], 0)
+		index[root], low[root] = next, next
+		next++
+		stack = append(stack, root)
+		onStack[root] = true
+		for len(callU) > 0 {
+			u := callU[len(callU)-1]
+			i := callI[len(callI)-1]
+			if i < len(s.adj[u]) {
+				callI[len(callI)-1]++
+				v := s.adj[u][i]
+				if index[v] == unvisited {
+					index[v], low[v] = next, next
+					next++
+					stack = append(stack, v)
+					onStack[v] = true
+					callU = append(callU, v)
+					callI = append(callI, 0)
+				} else if onStack[v] && index[v] < low[u] {
+					low[u] = index[v]
+				}
+				continue
+			}
+			// Post-order: pop u.
+			callU = callU[:len(callU)-1]
+			callI = callI[:len(callI)-1]
+			if len(callU) > 0 {
+				parent := callU[len(callU)-1]
+				if low[u] < low[parent] {
+					low[parent] = low[u]
+				}
+			}
+			if low[u] == index[u] {
+				for {
+					w := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[w] = false
+					comp[w] = nComp
+					if w == u {
+						break
+					}
+				}
+				nComp++
+			}
+		}
+	}
+	return comp
+}
+
+// cyclePath returns a state sequence from src to dst through C's transitions
+// (BFS shortest path); appending the edge dst→src's bad edge closes the
+// counterexample cycle. src and dst are in the same SCC, so a path exists;
+// if src == dst the cycle is the single state.
+func cyclePath(c *System, src, dst int) []int {
+	if src == dst {
+		return []int{src}
+	}
+	prev := make([]int, c.n)
+	for i := range prev {
+		prev[i] = -1
+	}
+	prev[src] = src
+	queue := []int{src}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		if u == dst {
+			break
+		}
+		for _, v := range c.adj[u] {
+			if prev[v] == -1 {
+				prev[v] = u
+				queue = append(queue, v)
+			}
+		}
+	}
+	if prev[dst] == -1 {
+		// Unreachable despite same SCC — cannot happen; degrade to the
+		// endpoints so callers still get a diagnostic.
+		return []int{src, dst}
+	}
+	var rev []int
+	for u := dst; u != src; u = prev[u] {
+		rev = append(rev, u)
+	}
+	rev = append(rev, src)
+	path := make([]int, 0, len(rev))
+	for i := len(rev) - 1; i >= 0; i-- {
+		path = append(path, rev[i])
+	}
+	return path
+}

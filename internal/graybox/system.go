@@ -1,0 +1,242 @@
+// Package graybox implements the formal framework of Graybox Stabilization
+// (Arora, Demirbas, Kulkarni, DSN 2001, §2): systems as fusion-closed sets of
+// computations over a state space, the relations "implements" ([C ⇒ A]_init),
+// "everywhere implements" ([C ⇒ A]), "is stabilizing to", and the box
+// composition C ▯ W.
+//
+// # Representation
+//
+// The paper assumes system computations are fusion closed (§2.1), and
+// fusion-closed computation sets over a finite state space are exactly the
+// path sets of transition relations. We therefore represent a System as a
+// finite transition system: a state space {0..n-1}, a total transition
+// relation, and a set of initial states. Computations are the infinite paths
+// through the relation; the paper's requirement that "at least one sequence
+// starts from every state" is totality of the relation, which Build enforces.
+//
+// Under this representation the paper's definitions become decidable:
+//
+//   - [C ⇒ A]_init  ⇔  init(C) ⊆ init(A) and every transition of C
+//     reachable from init(C) is a transition of A.
+//   - [C ⇒ A]       ⇔  every transition of C is a transition of A.
+//   - C ▯ W: the smallest fusion-closed set containing both computation
+//     sets is the path set of the union relation (fusion glues a C-segment
+//     to a W-segment at any shared state); initial states are the common
+//     initial states.
+//   - "C is stabilizing to A": every computation of C has a suffix that is
+//     a suffix of an A-computation from init(A). Suffixes of legitimate
+//     A-computations are exactly the paths that stay inside
+//     L = Reach_A(init(A)) using only A-transitions. On a finite graph this
+//     fails iff some cycle of C contains a transition outside that "good"
+//     set — which is what StabilizingTo checks, returning a lasso-shaped
+//     counterexample when it fails.
+package graybox
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// System is a finite fusion-closed system: a total transition relation over
+// states 0..n-1 plus a set of initial states. Construct with a Builder;
+// System values are immutable afterwards.
+type System struct {
+	name string
+	n    int
+	// adj[u] is the sorted list of successors of u; total: never empty.
+	adj [][]int
+	// edge[u<<32|v] membership set for O(1) transition queries.
+	edge map[uint64]struct{}
+	init []int // sorted initial states
+}
+
+func edgeKey(u, v int) uint64 { return uint64(u)<<32 | uint64(uint32(v)) }
+
+// Name returns the system's display name.
+func (s *System) Name() string { return s.name }
+
+// NumStates returns the size of the state space.
+func (s *System) NumStates() int { return s.n }
+
+// Init returns the initial states, sorted ascending. The slice is a copy.
+func (s *System) Init() []int {
+	out := make([]int, len(s.init))
+	copy(out, s.init)
+	return out
+}
+
+// IsInit reports whether state u is initial.
+func (s *System) IsInit(u int) bool {
+	i := sort.SearchInts(s.init, u)
+	return i < len(s.init) && s.init[i] == u
+}
+
+// HasTransition reports whether (u,v) is a transition of the system.
+func (s *System) HasTransition(u, v int) bool {
+	_, ok := s.edge[edgeKey(u, v)]
+	return ok
+}
+
+// Successors returns the successors of u, sorted ascending. The slice must
+// not be modified.
+func (s *System) Successors(u int) []int { return s.adj[u] }
+
+// NumTransitions returns the number of transitions.
+func (s *System) NumTransitions() int { return len(s.edge) }
+
+// Transitions returns all transitions in deterministic (u,v) order.
+func (s *System) Transitions() [][2]int {
+	out := make([][2]int, 0, len(s.edge))
+	for u := 0; u < s.n; u++ {
+		for _, v := range s.adj[u] {
+			out = append(out, [2]int{u, v})
+		}
+	}
+	return out
+}
+
+// Builder accumulates states, transitions, and initial states for a System.
+type Builder struct {
+	name string
+	n    int
+	adj  map[int]map[int]struct{}
+	init map[int]struct{}
+}
+
+// NewBuilder returns a Builder for a system named name over states 0..n-1.
+func NewBuilder(name string, n int) *Builder {
+	return &Builder{
+		name: name,
+		n:    n,
+		adj:  make(map[int]map[int]struct{}),
+		init: make(map[int]struct{}),
+	}
+}
+
+// AddTransition adds the transition u→v. Adding a duplicate is a no-op.
+func (b *Builder) AddTransition(u, v int) *Builder {
+	m, ok := b.adj[u]
+	if !ok {
+		m = make(map[int]struct{})
+		b.adj[u] = m
+	}
+	m[v] = struct{}{}
+	return b
+}
+
+// AddChain adds transitions s[0]→s[1]→…→s[k-1].
+func (b *Builder) AddChain(states ...int) *Builder {
+	for i := 0; i+1 < len(states); i++ {
+		b.AddTransition(states[i], states[i+1])
+	}
+	return b
+}
+
+// SetInit marks the given states as initial.
+func (b *Builder) SetInit(states ...int) *Builder {
+	for _, s := range states {
+		b.init[s] = struct{}{}
+	}
+	return b
+}
+
+// ErrNotTotal is returned by Build when some state has no outgoing
+// transition, violating the paper's requirement that at least one
+// computation starts from every state.
+var ErrNotTotal = errors.New("graybox: transition relation is not total")
+
+// ErrNoInit is returned by Build when no initial state was set.
+var ErrNoInit = errors.New("graybox: system has no initial state")
+
+// Build validates and freezes the system. The transition relation must be
+// total and at least one initial state must be set; out-of-range endpoints
+// are rejected.
+func (b *Builder) Build() (*System, error) {
+	s := &System{
+		name: b.name,
+		n:    b.n,
+		adj:  make([][]int, b.n),
+		edge: make(map[uint64]struct{}),
+	}
+	for u, succs := range b.adj {
+		if u < 0 || u >= b.n {
+			return nil, fmt.Errorf("graybox: state %d out of range [0,%d)", u, b.n)
+		}
+		for v := range succs {
+			if v < 0 || v >= b.n {
+				return nil, fmt.Errorf("graybox: state %d out of range [0,%d)", v, b.n)
+			}
+			s.adj[u] = append(s.adj[u], v)
+			s.edge[edgeKey(u, v)] = struct{}{}
+		}
+		sort.Ints(s.adj[u])
+	}
+	for u := 0; u < b.n; u++ {
+		if len(s.adj[u]) == 0 {
+			return nil, fmt.Errorf("%w: state %d has no successor", ErrNotTotal, u)
+		}
+	}
+	if len(b.init) == 0 {
+		return nil, ErrNoInit
+	}
+	for u := range b.init {
+		if u < 0 || u >= b.n {
+			return nil, fmt.Errorf("graybox: initial state %d out of range [0,%d)", u, b.n)
+		}
+		s.init = append(s.init, u)
+	}
+	sort.Ints(s.init)
+	return s, nil
+}
+
+// Totalize adds a self-loop to every state lacking a successor, then builds.
+// This is the standard stuttering completion for guarded-command programs
+// whose guards are not enabled everywhere (e.g. wrappers).
+func (b *Builder) Totalize() *Builder {
+	for u := 0; u < b.n; u++ {
+		if len(b.adj[u]) == 0 {
+			b.AddTransition(u, u)
+		}
+	}
+	return b
+}
+
+// MustBuild is Build for static, known-good models; it panics on error.
+// Use only for fixtures and examples, never on user input.
+func (b *Builder) MustBuild() *System {
+	s, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Reachable returns the set of states reachable from the given seed states
+// (inclusive), as a boolean vector indexed by state.
+func (s *System) Reachable(from []int) []bool {
+	seen := make([]bool, s.n)
+	stack := make([]int, 0, len(from))
+	for _, u := range from {
+		if u >= 0 && u < s.n && !seen[u] {
+			seen[u] = true
+			stack = append(stack, u)
+		}
+	}
+	for len(stack) > 0 {
+		u := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, v := range s.adj[u] {
+			if !seen[v] {
+				seen[v] = true
+				stack = append(stack, v)
+			}
+		}
+	}
+	return seen
+}
+
+// Legitimate returns the legitimate states of the system: those reachable
+// from its initial states. Suffixes of initialized computations live
+// entirely inside this set.
+func (s *System) Legitimate() []bool { return s.Reachable(s.init) }

@@ -1,0 +1,407 @@
+// Package lspec realizes the paper's two specifications as executable
+// monitors over simulation snapshots:
+//
+//   - Lspec (DSN 2001 §3.2) — the local everywhere specification for TME:
+//     Structural, Flow, CS, Request, Reply, CS Entry, CS Release, Timestamp
+//     and Communication Specs, plus the invariant I of Theorem A.1:
+//
+//     (I)  ∀ j,k, j≠k :  j.REQ_k = REQ_k  ∨  j.REQ_k lt REQ_k
+//
+//   - TME_Spec (§3.1) — ME1 mutual exclusion, ME2 starvation freedom, ME3
+//     first-come first-serve.
+//
+// Monitors are how stabilization is *measured*: during fault bursts they
+// record violations with their virtual times; convergence time is the last
+// violation time after the last fault (plus liveness obligations draining).
+// Theorem 5 (Lspec ⇒ TME_Spec) becomes the testable statement that runs
+// with no Lspec violations have no TME_Spec violations.
+package lspec
+
+import (
+	"fmt"
+
+	"github.com/graybox-stabilization/graybox/internal/sim"
+	"github.com/graybox-stabilization/graybox/internal/spec"
+	"github.com/graybox-stabilization/graybox/internal/tme"
+)
+
+// TimedViolation is a spec violation stamped with virtual time.
+type TimedViolation struct {
+	Time int64
+	V    *spec.Violation
+}
+
+func (t TimedViolation) String() string {
+	return fmt.Sprintf("t=%d %v", t.Time, t.V)
+}
+
+// Monitors checks a full simulation run against Lspec and TME_Spec.
+// Construct with New, feed every snapshot to Observe (typically from a
+// sim.Observer), and read the verdicts at the end.
+type Monitors struct {
+	n     int
+	suite *spec.Suite[sim.GlobalState]
+	// me2 tracks h.j ↦ e.j per process (liveness: open obligations at the
+	// end of a run are starvation).
+	me2 []*spec.LeadsToMonitor[sim.GlobalState]
+	// csTransient tracks e.j ↦ ¬e.j per process (CS Spec).
+	csTransient []*spec.LeadsToMonitor[sim.GlobalState]
+	// replyPending tracks Reply Spec: a pending earlier request is
+	// eventually discharged, per ordered pair.
+	replyPending []*spec.LeadsToMonitor[sim.GlobalState]
+
+	times      []int64 // observation index → virtual time
+	violations []TimedViolation
+	prev       *sim.GlobalState
+	obs        int
+	// fcfs counts knowing-overtake events (operational ME3 violations).
+	fcfsViolations []TimedViolation
+}
+
+// New returns monitors for an n-process system.
+func New(n int) *Monitors {
+	m := &Monitors{n: n, suite: spec.NewSuite[sim.GlobalState]()}
+
+	// Structural Spec: every phase is exactly one of {t,h,e}.
+	m.suite.Add(spec.NewInvariant("structural", func(g sim.GlobalState) bool {
+		for _, s := range g.Nodes {
+			if !s.Phase.Valid() {
+				return false
+			}
+		}
+		return true
+	}))
+
+	// ME1 (TME_Spec): at most one process eats.
+	m.suite.Add(spec.NewInvariant("ME1", func(g sim.GlobalState) bool {
+		return len(g.Eating()) <= 1
+	}))
+
+	// Invariant I of Theorem A.1: local copies never lead the truth.
+	m.suite.Add(spec.NewInvariant("invariant-I", InvariantI))
+
+	// Timestamp Spec: ts.j never decreases (checked pairwise between
+	// consecutive snapshots via an unless monitor over the previous-state
+	// trick below; here as a stable-difference check).
+	for j := 0; j < n; j++ {
+		j := j
+		m.suite.Add(&monotoneTS{name: fmt.Sprintf("timestamp.%d", j), j: j})
+	}
+
+	// Flow Spec: t unless h, h unless e, e unless t — per process.
+	for j := 0; j < n; j++ {
+		j := j
+		phaseIs := func(p tme.Phase) spec.Predicate[sim.GlobalState] {
+			return func(g sim.GlobalState) bool { return g.Nodes[j].Phase == p }
+		}
+		m.suite.Add(spec.NewUnless(fmt.Sprintf("flow.t.%d", j), phaseIs(tme.Thinking), phaseIs(tme.Hungry)))
+		m.suite.Add(spec.NewUnless(fmt.Sprintf("flow.h.%d", j), phaseIs(tme.Hungry), phaseIs(tme.Eating)))
+		m.suite.Add(spec.NewUnless(fmt.Sprintf("flow.e.%d", j), phaseIs(tme.Eating), phaseIs(tme.Thinking)))
+	}
+
+	// Request Spec (safety half): while hungry, REQ_j is unchanged.
+	for j := 0; j < n; j++ {
+		j := j
+		m.suite.Add(&stableREQ{name: fmt.Sprintf("request.req-stable.%d", j), j: j})
+	}
+
+	// CS Release Spec: while thinking, REQ_j equals ts.j.
+	for j := 0; j < n; j++ {
+		j := j
+		m.suite.Add(spec.NewInvariant(fmt.Sprintf("release.req-tracks-ts.%d", j),
+			func(g sim.GlobalState) bool {
+				s := g.Nodes[j]
+				if s.Phase != tme.Thinking || !s.HasTS {
+					return true
+				}
+				return s.REQ == s.TS
+			}))
+	}
+
+	// CS Spec (liveness): e.j ↦ ¬e.j.
+	for j := 0; j < n; j++ {
+		j := j
+		lt := spec.NewLeadsTo(fmt.Sprintf("cs-transient.%d", j),
+			func(g sim.GlobalState) bool { return g.Nodes[j].Phase == tme.Eating },
+			func(g sim.GlobalState) bool { return g.Nodes[j].Phase != tme.Eating })
+		m.csTransient = append(m.csTransient, lt)
+		m.suite.Add(lt)
+	}
+
+	// ME2 (liveness): h.j ↦ e.j.
+	for j := 0; j < n; j++ {
+		j := j
+		lt := spec.NewLeadsTo(fmt.Sprintf("ME2.%d", j),
+			func(g sim.GlobalState) bool { return g.Nodes[j].Phase == tme.Hungry },
+			func(g sim.GlobalState) bool { return g.Nodes[j].Phase == tme.Eating })
+		m.me2 = append(m.me2, lt)
+		m.suite.Add(lt)
+	}
+
+	// Reply Spec (liveness): received(j.REQ_k) ∧ j.REQ_k lt REQ_j — a
+	// pending request that is earlier than ours — is eventually
+	// discharged (flag cleared or our request resolved).
+	for j := 0; j < n; j++ {
+		for k := 0; k < n; k++ {
+			if j == k {
+				continue
+			}
+			j, k := j, k
+			p := func(g sim.GlobalState) bool {
+				s := g.Nodes[j]
+				return s.Received[k] && s.Local[k].Less(s.REQ)
+			}
+			lt := spec.NewLeadsTo(fmt.Sprintf("reply.%d.%d", j, k), p, spec.Not(p))
+			m.replyPending = append(m.replyPending, lt)
+			m.suite.Add(lt)
+		}
+	}
+
+	return m
+}
+
+// InvariantI is the paper's invariant I as a predicate over a snapshot:
+// every local copy equals or precedes the copied process's current REQ.
+func InvariantI(g sim.GlobalState) bool {
+	for j := range g.Nodes {
+		for k := range g.Nodes {
+			if j == k {
+				continue
+			}
+			local := g.Nodes[j].Local[k]
+			if !local.LessEq(g.Nodes[k].REQ) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Observe feeds the next snapshot to all monitors.
+func (m *Monitors) Observe(g sim.GlobalState) {
+	m.times = append(m.times, g.Time)
+	before := len(m.suite.Violations())
+	m.suite.Observe(g)
+	for _, v := range m.suite.Violations()[before:] {
+		m.violations = append(m.violations, TimedViolation{Time: g.Time, V: v})
+	}
+	m.checkFCFS(g)
+	gg := g
+	m.prev = &gg
+	m.obs++
+}
+
+// checkFCFS flags a "knowing overtake": process k transitions into eating
+// while some hungry j holds an earlier request that k has recorded exactly
+// (k.REQ_j = REQ_j). Recording j's request implies it causally preceded k's
+// entry, so this is an operational ME3 violation.
+func (m *Monitors) checkFCFS(g sim.GlobalState) {
+	if m.prev == nil {
+		return
+	}
+	for k := range g.Nodes {
+		if g.Nodes[k].Phase != tme.Eating || m.prev.Nodes[k].Phase == tme.Eating {
+			continue
+		}
+		// k just entered.
+		for j := range g.Nodes {
+			if j == k || g.Nodes[j].Phase != tme.Hungry {
+				continue
+			}
+			reqJ := g.Nodes[j].REQ
+			if g.Nodes[k].Local[j] == reqJ && reqJ.Less(g.Nodes[k].REQ) {
+				m.fcfsViolations = append(m.fcfsViolations, TimedViolation{
+					Time: g.Time,
+					V: &spec.Violation{
+						Op:    "ME3",
+						Index: m.obs,
+						Detail: fmt.Sprintf("process %d entered knowing %d's earlier request %s < %s",
+							k, j, reqJ, g.Nodes[k].REQ),
+					},
+				})
+			}
+		}
+	}
+}
+
+// AsObserver adapts the monitors to a sim.Observer. To keep monitoring
+// affordable on long runs, snapshots are taken only after events that
+// changed an activity counter (deliveries, client actions, sends) and at
+// most once per virtual-time instant otherwise: repeated closed-guard
+// wrapper ticks within one instant cannot have changed any node. State
+// corruption between activity events is observed at the next observed
+// event; violation times shift by at most one event.
+func (m *Monitors) AsObserver() sim.Observer {
+	lastActivity := -1
+	lastTime := int64(-1)
+	// Two rotating snapshot buffers: every monitor retains at most the
+	// immediately previous state, so a buffer is never overwritten while
+	// a monitor still reads it.
+	var bufs [2]sim.GlobalState
+	cur := 0
+	return func(s *sim.Sim) {
+		mt := s.Metrics()
+		activity := mt.Delivered + mt.Requests + mt.Releases +
+			mt.ProgramMsgs + mt.WrapperMsgs + len(mt.Entries)
+		if activity == lastActivity && s.Now() == lastTime {
+			return
+		}
+		lastActivity, lastTime = activity, s.Now()
+		s.SnapshotInto(&bufs[cur])
+		m.Observe(bufs[cur])
+		cur = 1 - cur
+	}
+}
+
+// Violations returns all safety violations (Lspec + ME1) with times.
+func (m *Monitors) Violations() []TimedViolation { return m.violations }
+
+// FCFSViolations returns the operational ME3 violations with times.
+func (m *Monitors) FCFSViolations() []TimedViolation { return m.fcfsViolations }
+
+// Stat summarizes one operator's violations.
+type Stat struct {
+	// Count is the number of violations; Last the latest virtual time.
+	Count int
+	Last  int64
+}
+
+// Summary aggregates violations by operator ("invariant", "unless",
+// "request", "timestamp", "ME3"), with counts and last occurrence times.
+func (m *Monitors) Summary() map[string]Stat {
+	out := make(map[string]Stat)
+	add := func(op string, t int64) {
+		e := out[op]
+		e.Count++
+		if t > e.Last {
+			e.Last = t
+		}
+		out[op] = e
+	}
+	for _, v := range m.violations {
+		add(v.V.Op, v.Time)
+	}
+	for _, v := range m.fcfsViolations {
+		add(v.V.Op, v.Time)
+	}
+	return out
+}
+
+// LastViolationTime returns the virtual time of the last safety or FCFS
+// violation, or -1 if the run was clean.
+func (m *Monitors) LastViolationTime() int64 {
+	last := int64(-1)
+	for _, v := range m.violations {
+		if v.Time > last {
+			last = v.Time
+		}
+	}
+	for _, v := range m.fcfsViolations {
+		if v.Time > last {
+			last = v.Time
+		}
+	}
+	return last
+}
+
+// StarvedProcesses returns the ids whose ME2 obligation (h.j ↦ e.j) is
+// still open — hungry at the end of the run with no subsequent entry.
+func (m *Monitors) StarvedProcesses() []int {
+	var out []int
+	for j, lt := range m.me2 {
+		if lt.Pending() > 0 {
+			out = append(out, j)
+		}
+	}
+	return out
+}
+
+// StuckEaters returns the ids whose CS Spec obligation (e.j ↦ ¬e.j) is
+// still open at the end of the run.
+func (m *Monitors) StuckEaters() []int {
+	var out []int
+	for j, lt := range m.csTransient {
+		if lt.Pending() > 0 {
+			out = append(out, j)
+		}
+	}
+	return out
+}
+
+// OpenReplyObligations counts Reply Spec obligations still pending.
+func (m *Monitors) OpenReplyObligations() int {
+	total := 0
+	for _, lt := range m.replyPending {
+		if lt.Pending() > 0 {
+			total++
+		}
+	}
+	return total
+}
+
+// Clean reports whether the run satisfied every monitored property: no
+// safety violations, no FCFS violations, and no open liveness obligations.
+func (m *Monitors) Clean() bool {
+	return len(m.violations) == 0 &&
+		len(m.fcfsViolations) == 0 &&
+		len(m.StarvedProcesses()) == 0 &&
+		len(m.StuckEaters()) == 0 &&
+		m.OpenReplyObligations() == 0
+}
+
+// monotoneTS checks Timestamp Spec: ts.j never decreases across snapshots.
+type monotoneTS struct {
+	name string
+	j    int
+	have bool
+	last sim.GlobalState
+}
+
+func (mt *monotoneTS) Name() string { return mt.name }
+func (mt *monotoneTS) Pending() int { return 0 }
+
+func (mt *monotoneTS) Observe(g sim.GlobalState) *spec.Violation {
+	defer func() { mt.last, mt.have = g, true }()
+	if !mt.have {
+		return nil
+	}
+	prev, cur := mt.last.Nodes[mt.j], g.Nodes[mt.j]
+	if !prev.HasTS || !cur.HasTS {
+		return nil
+	}
+	if cur.TS.Less(prev.TS) {
+		return &spec.Violation{Op: "timestamp", Detail: fmt.Sprintf(
+			"%s: ts regressed from %s to %s", mt.name, prev.TS, cur.TS)}
+	}
+	return nil
+}
+
+// stableREQ checks the safety half of Request Spec / CS Entry Spec: while a
+// process stays hungry, REQ_j does not change.
+type stableREQ struct {
+	name string
+	j    int
+	have bool
+	last sim.GlobalState
+}
+
+func (sr *stableREQ) Name() string { return sr.name }
+func (sr *stableREQ) Pending() int { return 0 }
+
+func (sr *stableREQ) Observe(g sim.GlobalState) *spec.Violation {
+	defer func() { sr.last, sr.have = g, true }()
+	if !sr.have {
+		return nil
+	}
+	prev, cur := sr.last.Nodes[sr.j], g.Nodes[sr.j]
+	if prev.Phase == tme.Hungry && cur.Phase == tme.Hungry && prev.REQ != cur.REQ {
+		return &spec.Violation{Op: "request", Detail: fmt.Sprintf(
+			"%s: REQ changed from %s to %s while hungry", sr.name, prev.REQ, cur.REQ)}
+	}
+	return nil
+}
+
+var (
+	_ spec.Monitor[sim.GlobalState] = (*monotoneTS)(nil)
+	_ spec.Monitor[sim.GlobalState] = (*stableREQ)(nil)
+)

@@ -1,0 +1,26 @@
+package ltime_test
+
+import (
+	"fmt"
+
+	"github.com/graybox-stabilization/graybox/internal/ltime"
+)
+
+// ExampleClock shows the Lamport clock rules: local events tick, receives
+// merge — so causally related events are totally ordered by lt.
+func ExampleClock() {
+	alice := ltime.NewClock(0)
+	bob := ltime.NewClock(1)
+
+	send := alice.Tick()      // alice's event 1
+	recv := bob.Observe(send) // bob learns of it
+	later := bob.Tick()       // bob's next event
+
+	fmt.Println("send:", send, "recv:", recv, "later:", later)
+	fmt.Println("send lt recv:", send.Less(recv))
+	fmt.Println("recv lt later:", recv.Less(later))
+	// Output:
+	// send: 1.0 recv: 2.1 later: 3.1
+	// send lt recv: true
+	// recv lt later: true
+}

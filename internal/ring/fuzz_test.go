@@ -1,0 +1,39 @@
+package ring
+
+import "testing"
+
+// FuzzAcceptForward drives a node with an arbitrary interleaving of token
+// deliveries and ticks, checking the TCspec invariants: seq never
+// decreases, forwarded tokens always exceed the node's prior seq, and
+// accepted tokens are exactly the strictly newer ones.
+func FuzzAcceptForward(f *testing.F) {
+	f.Add([]byte{1, 0, 5, 0, 3}, true)
+	f.Add([]byte{10, 10, 10}, false)
+	f.Add([]byte{}, true)
+	f.Fuzz(func(t *testing.T, tape []byte, eager bool) {
+		var nd Node
+		if eager {
+			nd = NewEager(0, 4, 2)
+		} else {
+			nd = NewLazy(0, 4, 3, 2)
+		}
+		prevSeq := nd.Seq()
+		for _, b := range tape {
+			if b%2 == 0 {
+				seq := uint64(b) / 2
+				accepted := nd.Accept(Token{Seq: seq})
+				if accepted != (seq > prevSeq) {
+					t.Fatalf("accept(%d) = %v with seq %d", seq, accepted, prevSeq)
+				}
+			} else if tok := nd.Tick(); tok != nil {
+				if tok.Seq <= prevSeq {
+					t.Fatalf("forwarded %d not above prior seq %d", tok.Seq, prevSeq)
+				}
+			}
+			if nd.Seq() < prevSeq {
+				t.Fatalf("seq regressed: %d -> %d", prevSeq, nd.Seq())
+			}
+			prevSeq = nd.Seq()
+		}
+	})
+}

@@ -1,0 +1,76 @@
+package ring
+
+import "testing"
+
+func TestMonitorsCleanFaultFreeRun(t *testing.T) {
+	s := NewSim(SimConfig{N: 4, Seed: 1, NewNode: eagerFactory(2)})
+	m := NewMonitors(4)
+	s.SetObserver(m.AsObserver())
+	s.Run(400)
+	if m.Violations() != 0 {
+		t.Errorf("fault-free run has %d violations", m.Violations())
+	}
+	if m.LastViolationTime() != -1 {
+		t.Errorf("LastViolationTime = %d", m.LastViolationTime())
+	}
+	if got := m.StarvedProcesses(60); len(got) != 0 {
+		t.Errorf("StarvedProcesses = %v", got)
+	}
+}
+
+func TestMonitorsDetectTokenLossAndRecovery(t *testing.T) {
+	s := NewSim(SimConfig{N: 4, Seed: 2, NewNode: eagerFactory(2), WrapperDelta: 20})
+	m := NewMonitors(4)
+	s.SetObserver(m.AsObserver())
+	s.Run(50)
+	s.DropAllInFlight()
+	s.StealToken()
+	s.Run(600)
+	if m.Violations() == 0 {
+		t.Fatal("token loss produced no single-live-token violations")
+	}
+	last := m.LastViolationTime()
+	if last < 50 || last > 120 {
+		t.Errorf("LastViolationTime = %d, want shortly after the fault", last)
+	}
+	if got := m.StarvedProcesses(60); len(got) != 0 {
+		t.Errorf("starvation after recovery: %v (lastHeld %d..%d)", got, m.LastHeld(0), m.LastHeld(3))
+	}
+}
+
+func TestMonitorsDetectStarvationWithoutWrapper(t *testing.T) {
+	s := NewSim(SimConfig{N: 4, Seed: 3, NewNode: eagerFactory(2)})
+	m := NewMonitors(4)
+	s.SetObserver(m.AsObserver())
+	s.Run(50)
+	s.DropAllInFlight()
+	s.StealToken()
+	s.Run(400)
+	if got := m.StarvedProcesses(60); len(got) != 4 {
+		t.Errorf("StarvedProcesses = %v, want all four", got)
+	}
+}
+
+func TestMonotoneSeqViolation(t *testing.T) {
+	ms := &monotoneSeq{name: "seq.0", i: 0}
+	if v := ms.Observe(Snapshot{Seqs: []uint64{5}}); v != nil {
+		t.Fatalf("first observation violated: %v", v)
+	}
+	if v := ms.Observe(Snapshot{Seqs: []uint64{3}}); v == nil {
+		t.Fatal("regression not detected")
+	}
+	if ms.Name() != "seq.0" || ms.Pending() != 0 {
+		t.Error("metadata wrong")
+	}
+}
+
+func TestSnapFields(t *testing.T) {
+	s := NewSim(SimConfig{N: 3, Seed: 4, NewNode: eagerFactory(2)})
+	snap := s.Snap()
+	if snap.Live != 1 || snap.Holder != 0 {
+		t.Errorf("initial snap = %+v", snap)
+	}
+	if len(snap.Seqs) != 3 || snap.Seqs[0] != 1 {
+		t.Errorf("seqs = %v", snap.Seqs)
+	}
+}

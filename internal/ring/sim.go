@@ -1,0 +1,233 @@
+package ring
+
+import (
+	"math/rand"
+
+	"github.com/graybox-stabilization/graybox/internal/channel"
+)
+
+// inflight is one token travelling a link, due at a tick.
+type inflight struct {
+	tok Token
+	due int64
+}
+
+// SimConfig parameterizes a ring simulation.
+type SimConfig struct {
+	// N is the ring size (≥ 2).
+	N int
+	// Seed drives link delays.
+	Seed int64
+	// NewNode constructs each process (required); see NewEager, NewLazy.
+	NewNode func(id, n int) Node
+	// MinDelay/MaxDelay bound per-hop link delay in ticks. Defaults 1/3.
+	MinDelay, MaxDelay int64
+	// WrapperDelta, when > 0, attaches the Regenerator wrapper to
+	// process 0 with that timeout.
+	WrapperDelta int
+}
+
+// Metrics accumulates ring counters.
+type Metrics struct {
+	// Accepts[i] counts accepted token deliveries at process i.
+	Accepts []int
+	// Discards counts deliveries rejected by Accept Spec (stale tokens).
+	Discards int
+	// Regenerations counts wrapper-created tokens.
+	Regenerations int
+	// DeadTicks counts ticks with no live token anywhere.
+	DeadTicks int64
+}
+
+// Sim is a deterministic tick-driven ring simulator. Construct with NewSim.
+type Sim struct {
+	cfg      SimConfig
+	rng      *rand.Rand
+	now      int64
+	nodes    []Node
+	links    []channel.FIFO[inflight] // links[i]: i → (i+1) mod n
+	wrapper  *Regenerator
+	metrics  Metrics
+	observer func(*Sim)
+}
+
+// NewSim builds a ring simulation. It panics on an invalid configuration
+// (programming error).
+func NewSim(cfg SimConfig) *Sim {
+	if cfg.N < 2 || cfg.NewNode == nil {
+		panic("ring: SimConfig.N ≥ 2 and NewNode are required")
+	}
+	if cfg.MinDelay == 0 && cfg.MaxDelay == 0 {
+		cfg.MinDelay, cfg.MaxDelay = 1, 3
+	}
+	if cfg.MaxDelay < cfg.MinDelay {
+		cfg.MaxDelay = cfg.MinDelay
+	}
+	s := &Sim{
+		cfg:   cfg,
+		rng:   rand.New(rand.NewSource(cfg.Seed)),
+		nodes: make([]Node, cfg.N),
+		links: make([]channel.FIFO[inflight], cfg.N),
+		metrics: Metrics{
+			Accepts: make([]int, cfg.N),
+		},
+	}
+	for i := range s.nodes {
+		s.nodes[i] = cfg.NewNode(i, cfg.N)
+	}
+	if cfg.WrapperDelta > 0 {
+		s.wrapper = NewRegenerator(cfg.WrapperDelta)
+	}
+	// Seed the ring: process 0 starts with the first token.
+	s.nodes[0].Accept(Token{Seq: 1})
+	s.metrics.Accepts[0]++
+	return s
+}
+
+// Now returns the current tick.
+func (s *Sim) Now() int64 { return s.now }
+
+// Node returns process i.
+func (s *Sim) Node(i int) Node { return s.nodes[i] }
+
+// Metrics returns the accumulated counters.
+func (s *Sim) Metrics() *Metrics { return &s.metrics }
+
+// Wrapper returns the attached Regenerator (nil when unwrapped).
+func (s *Sim) Wrapper() *Regenerator { return s.wrapper }
+
+// send puts a token on link i with a sampled delay.
+func (s *Sim) send(i int, t Token) {
+	delay := s.cfg.MinDelay + s.rng.Int63n(s.cfg.MaxDelay-s.cfg.MinDelay+1)
+	s.links[i].Send(inflight{tok: t, due: s.now + delay})
+}
+
+// Tick advances the simulation one tick: deliver due tokens, tick nodes,
+// run the wrapper.
+func (s *Sim) Tick() {
+	s.now++
+	// Deliveries: pop link heads that are due (FIFO: later-queued tokens
+	// wait even if their delay elapsed).
+	for i := 0; i < s.cfg.N; i++ {
+		dst := (i + 1) % s.cfg.N
+		for {
+			head, ok := s.links[i].Peek()
+			if !ok || head.due > s.now {
+				break
+			}
+			s.links[i].Recv()
+			if s.nodes[dst].Accept(head.tok) {
+				s.metrics.Accepts[dst]++
+			} else {
+				s.metrics.Discards++
+			}
+		}
+	}
+	// Node steps: forwarding.
+	for i, nd := range s.nodes {
+		if t := nd.Tick(); t != nil {
+			s.send(i, *t)
+		}
+	}
+	// Wrapper at process 0.
+	if s.wrapper != nil {
+		if t := s.wrapper.Observe(s.nodes[0]); t != nil {
+			s.metrics.Regenerations++
+			if s.nodes[0].Accept(*t) {
+				s.metrics.Accepts[0]++
+			}
+		}
+	}
+	if s.LiveTokens() == 0 {
+		s.metrics.DeadTicks++
+	}
+	if s.observer != nil {
+		s.observer(s)
+	}
+}
+
+// Run advances the simulation by ticks ticks.
+func (s *Sim) Run(ticks int64) {
+	for t := int64(0); t < ticks; t++ {
+		s.Tick()
+	}
+}
+
+// LiveTokens counts tokens that still matter: processes currently holding,
+// plus in-flight tokens that would be accepted at their destination today.
+func (s *Sim) LiveTokens() int {
+	live := 0
+	for _, nd := range s.nodes {
+		if nd.Holding() {
+			live++
+		}
+	}
+	for i := 0; i < s.cfg.N; i++ {
+		dst := (i + 1) % s.cfg.N
+		q := &s.links[i]
+		for k := 0; k < q.Len(); k++ {
+			if q.At(k).tok.Seq > s.nodes[dst].Seq() {
+				live++
+			}
+		}
+	}
+	return live
+}
+
+// Holder returns the id of the (unique) holding process, or -1 when none
+// or several hold.
+func (s *Sim) Holder() int {
+	holder := -1
+	for i, nd := range s.nodes {
+		if nd.Holding() {
+			if holder >= 0 {
+				return -1
+			}
+			holder = i
+		}
+	}
+	return holder
+}
+
+// --- fault injection -------------------------------------------------
+
+// DropAllInFlight loses every in-flight token (the ring-death fault).
+func (s *Sim) DropAllInFlight() {
+	for i := range s.links {
+		s.links[i].Clear()
+	}
+}
+
+// StealToken clears every process's holding flag (state corruption killing
+// the token while held).
+func (s *Sim) StealToken() {
+	for _, nd := range s.nodes {
+		if nd.Holding() {
+			nd.CorruptState(false, nd.Seq())
+		}
+	}
+}
+
+// DuplicateInFlight duplicates the head token of every non-empty link.
+func (s *Sim) DuplicateInFlight() {
+	for i := range s.links {
+		if s.links[i].Len() > 0 {
+			s.links[i].Duplicate(0)
+		}
+	}
+}
+
+// ForgeHolders corrupts k processes into believing they hold the token
+// (multi-token state corruption), chosen deterministically from the seed.
+func (s *Sim) ForgeHolders(k int) {
+	for j := 0; j < k; j++ {
+		i := s.rng.Intn(s.cfg.N)
+		s.nodes[i].CorruptState(true, s.nodes[i].Seq())
+	}
+}
+
+// CorruptSeq forges process i's seq to the given value (a too-high value
+// blockades the ring at i until regeneration outruns it).
+func (s *Sim) CorruptSeq(i int, seq uint64) {
+	s.nodes[i].CorruptState(s.nodes[i].Holding(), seq)
+}

@@ -1,0 +1,337 @@
+// Package runtime executes a TME system on real goroutines and channels —
+// the concurrent counterpart of internal/sim. Each process runs its own
+// event-loop goroutine; each directed edge has a forwarder goroutine that
+// imposes (seeded) random delay while preserving FIFO order; a lossy
+// transport option injects message loss and duplication in flight.
+//
+// The simulator is the measurement substrate (deterministic virtual time);
+// this package demonstrates the same wrapper recovering real concurrent
+// executions, and backs the runnable examples.
+package runtime
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"github.com/graybox-stabilization/graybox/internal/tme"
+	"github.com/graybox-stabilization/graybox/internal/wrapper"
+)
+
+// Config parameterizes a cluster.
+type Config struct {
+	// N is the number of processes (required, ≥ 1).
+	N int
+	// Seed drives delays and fault draws.
+	Seed int64
+	// NewNode constructs each process (required).
+	NewNode func(id, n int) tme.Node
+	// NewWrapper, when non-nil, attaches a level-2 wrapper per process,
+	// driven every WrapperTick of wall-clock time.
+	NewWrapper func(id int) wrapper.Level2
+	// WrapperTick is the wrapper evaluation cadence. Default 2ms.
+	WrapperTick time.Duration
+	// Level1, when non-nil, is the level-1 wrapper run on a process after
+	// every event at it (intra-process repair, §2.2).
+	Level1 wrapper.Level1
+	// MinDelay/MaxDelay bound per-message transport delay.
+	// Defaults 100µs / 1ms.
+	MinDelay, MaxDelay time.Duration
+	// LossRate and DupRate are per-message fault probabilities in [0,1].
+	LossRate, DupRate float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.WrapperTick <= 0 {
+		c.WrapperTick = 2 * time.Millisecond
+	}
+	if c.MinDelay <= 0 {
+		c.MinDelay = 100 * time.Microsecond
+	}
+	if c.MaxDelay < c.MinDelay {
+		c.MaxDelay = c.MinDelay
+	}
+	return c
+}
+
+// Entry reports one CS entry observed by the cluster.
+type Entry struct {
+	// ID is the entering process; Seq numbers entries cluster-wide.
+	ID, Seq int
+	// At is the wall-clock entry time.
+	At time.Time
+}
+
+// Cluster is a running TME system on goroutines. Construct with NewCluster,
+// then Start; always Stop to reclaim every goroutine.
+type Cluster struct {
+	cfg   Config
+	procs []*proc
+	edges []*edge
+
+	mu      sync.Mutex
+	rng     *rand.Rand
+	entries []Entry
+	onEntry func(Entry)
+
+	stop chan struct{}
+	wg   sync.WaitGroup
+	once sync.Once
+}
+
+// proc is one process: its node, guarded by mu, plus its inbox.
+type proc struct {
+	id    int
+	mu    sync.Mutex
+	node  tme.Node
+	wrap  wrapper.Level2
+	inbox *mailbox[tme.Message]
+}
+
+// edge is one directed transport link with FIFO-preserving delay.
+type edge struct {
+	src, dst int
+	queue    *mailbox[tme.Message]
+}
+
+// NewCluster builds a cluster; it does not start any goroutine.
+func NewCluster(cfg Config) (*Cluster, error) {
+	if cfg.N < 1 || cfg.NewNode == nil {
+		return nil, fmt.Errorf("runtime: Config.N (%d) and NewNode are required", cfg.N)
+	}
+	c := &Cluster{
+		cfg:  cfg.withDefaults(),
+		rng:  rand.New(rand.NewSource(cfg.Seed)),
+		stop: make(chan struct{}),
+	}
+	for i := 0; i < cfg.N; i++ {
+		p := &proc{id: i, node: cfg.NewNode(i, cfg.N), inbox: newMailbox[tme.Message]()}
+		if cfg.NewWrapper != nil {
+			p.wrap = cfg.NewWrapper(i)
+		}
+		c.procs = append(c.procs, p)
+	}
+	for s := 0; s < cfg.N; s++ {
+		for d := 0; d < cfg.N; d++ {
+			if s != d {
+				c.edges = append(c.edges, &edge{src: s, dst: d, queue: newMailbox[tme.Message]()})
+			}
+		}
+	}
+	return c, nil
+}
+
+// OnEntry installs a callback invoked (from the entering process's event
+// loop) at every CS entry. Install before Start.
+func (c *Cluster) OnEntry(f func(Entry)) { c.onEntry = f }
+
+// Start launches the event-loop and forwarder goroutines.
+func (c *Cluster) Start() {
+	for _, p := range c.procs {
+		p := p
+		c.wg.Add(1)
+		go func() {
+			defer c.wg.Done()
+			c.eventLoop(p)
+		}()
+	}
+	for _, e := range c.edges {
+		e := e
+		c.wg.Add(1)
+		go func() {
+			defer c.wg.Done()
+			c.forward(e)
+		}()
+	}
+}
+
+// Stop terminates every goroutine and waits for them to exit.
+func (c *Cluster) Stop() {
+	c.once.Do(func() { close(c.stop) })
+	c.wg.Wait()
+}
+
+// eventLoop drives one process: deliver messages, run the wrapper on its
+// tick, detect CS entries.
+func (c *Cluster) eventLoop(p *proc) {
+	var tick <-chan time.Time
+	if p.wrap != nil {
+		t := time.NewTicker(c.cfg.WrapperTick)
+		defer t.Stop()
+		tick = t.C
+	}
+	for {
+		select {
+		case <-c.stop:
+			return
+		case <-p.inbox.ready():
+			for {
+				m, ok := p.inbox.tryGet()
+				if !ok {
+					break
+				}
+				p.mu.Lock()
+				out := p.node.Deliver(m)
+				if c.cfg.Level1 != nil {
+					c.cfg.Level1.CheckRepair(p.node)
+				}
+				entered, more := p.node.Step()
+				p.mu.Unlock()
+				c.route(append(out, more...))
+				if entered {
+					c.recordEntry(p.id)
+				}
+			}
+		case now := <-tick:
+			p.mu.Lock()
+			if c.cfg.Level1 != nil {
+				c.cfg.Level1.CheckRepair(p.node)
+			}
+			msgs := p.wrap.Fire(now.UnixNano(), p.node)
+			entered, more := p.node.Step()
+			p.mu.Unlock()
+			c.route(append(msgs, more...))
+			if entered {
+				c.recordEntry(p.id)
+			}
+		}
+	}
+}
+
+// forward drains one edge serially — delay then deliver — so FIFO order is
+// preserved per channel while delays remain random.
+func (c *Cluster) forward(e *edge) {
+	for {
+		select {
+		case <-c.stop:
+			return
+		case <-e.queue.ready():
+			for {
+				m, ok := e.queue.tryGet()
+				if !ok {
+					break
+				}
+				d, lost, dup := c.transportDraw()
+				select {
+				case <-time.After(d):
+				case <-c.stop:
+					return
+				}
+				if lost {
+					continue
+				}
+				c.procs[e.dst].inbox.put(m)
+				if dup {
+					c.procs[e.dst].inbox.put(m)
+				}
+			}
+		}
+	}
+}
+
+// transportDraw samples delay and fault outcomes under the cluster lock
+// (rand.Rand is not goroutine-safe).
+func (c *Cluster) transportDraw() (delay time.Duration, lost, dup bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	span := int64(c.cfg.MaxDelay - c.cfg.MinDelay)
+	delay = c.cfg.MinDelay
+	if span > 0 {
+		delay += time.Duration(c.rng.Int63n(span + 1))
+	}
+	lost = c.rng.Float64() < c.cfg.LossRate
+	dup = c.rng.Float64() < c.cfg.DupRate
+	return delay, lost, dup
+}
+
+// route dispatches messages onto their edges.
+func (c *Cluster) route(msgs []tme.Message) {
+	for _, m := range msgs {
+		if m.From < 0 || m.From >= c.cfg.N || m.To < 0 || m.To >= c.cfg.N || m.From == m.To {
+			continue
+		}
+		c.edges[c.edgeIndex(m.From, m.To)].queue.put(m)
+	}
+}
+
+// edgeIndex maps (src,dst) to the edges slice layout built in NewCluster.
+func (c *Cluster) edgeIndex(src, dst int) int {
+	idx := src * (c.cfg.N - 1)
+	if dst > src {
+		return idx + dst - 1
+	}
+	return idx + dst
+}
+
+func (c *Cluster) recordEntry(id int) {
+	c.mu.Lock()
+	e := Entry{ID: id, Seq: len(c.entries), At: time.Now()}
+	c.entries = append(c.entries, e)
+	cb := c.onEntry
+	c.mu.Unlock()
+	if cb != nil {
+		cb(e)
+	}
+}
+
+// Entries returns a copy of the entries recorded so far.
+func (c *Cluster) Entries() []Entry {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]Entry, len(c.entries))
+	copy(out, c.entries)
+	return out
+}
+
+// Request asks process id to request the CS (no-op unless thinking).
+func (c *Cluster) Request(id int) {
+	p := c.procs[id]
+	p.mu.Lock()
+	out := p.node.RequestCS()
+	entered, more := p.node.Step()
+	p.mu.Unlock()
+	c.route(append(out, more...))
+	if entered {
+		c.recordEntry(id)
+	}
+}
+
+// Release asks process id to release the CS (no-op unless eating).
+func (c *Cluster) Release(id int) {
+	p := c.procs[id]
+	p.mu.Lock()
+	out := p.node.ReleaseCS()
+	p.mu.Unlock()
+	c.route(out)
+}
+
+// Phase returns process id's current phase.
+func (c *Cluster) Phase(id int) tme.Phase {
+	p := c.procs[id]
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.node.Phase()
+}
+
+// Snapshot returns process id's spec-level state.
+func (c *Cluster) Snapshot(id int) tme.SpecState {
+	p := c.procs[id]
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return tme.Snapshot(p.node)
+}
+
+// Corrupt applies a transient state corruption to process id (fault
+// injection for demos and tests).
+func (c *Cluster) Corrupt(id int, corr tme.Corruption) {
+	p := c.procs[id]
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if node, ok := p.node.(tme.Corruptible); ok {
+		node.Corrupt(corr)
+	}
+}
+
+// N returns the number of processes.
+func (c *Cluster) N() int { return c.cfg.N }

@@ -1,0 +1,378 @@
+package runtime
+
+import (
+	"testing"
+	"time"
+
+	"github.com/graybox-stabilization/graybox/internal/lamport"
+	"github.com/graybox-stabilization/graybox/internal/ra"
+	"github.com/graybox-stabilization/graybox/internal/tme"
+	"github.com/graybox-stabilization/graybox/internal/wrapper"
+)
+
+func TestMailboxFIFO(t *testing.T) {
+	m := newMailbox[int]()
+	for i := 0; i < 100; i++ {
+		m.put(i)
+	}
+	if m.len() != 100 {
+		t.Fatalf("len = %d", m.len())
+	}
+	for i := 0; i < 100; i++ {
+		v, ok := m.tryGet()
+		if !ok || v != i {
+			t.Fatalf("tryGet #%d = (%d,%v)", i, v, ok)
+		}
+	}
+	if _, ok := m.tryGet(); ok {
+		t.Error("tryGet on empty mailbox succeeded")
+	}
+}
+
+func TestMailboxSignal(t *testing.T) {
+	m := newMailbox[int]()
+	select {
+	case <-m.ready():
+		t.Fatal("ready before put")
+	default:
+	}
+	m.put(1)
+	select {
+	case <-m.ready():
+	case <-time.After(time.Second):
+		t.Fatal("no readiness signal after put")
+	}
+}
+
+func TestMailboxClose(t *testing.T) {
+	m := newMailbox[int]()
+	m.put(1)
+	m.close()
+	if _, ok := m.tryGet(); ok {
+		t.Error("items survive close")
+	}
+	m.put(2)
+	if m.len() != 0 {
+		t.Error("put after close enqueued")
+	}
+}
+
+func TestNewClusterValidates(t *testing.T) {
+	if _, err := NewCluster(Config{N: 0}); err == nil {
+		t.Error("invalid config accepted")
+	}
+}
+
+func waitFor(t *testing.T, timeout time.Duration, cond func() bool) bool {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return true
+		}
+		time.Sleep(time.Millisecond)
+	}
+	return cond()
+}
+
+func TestClusterSoloRound(t *testing.T) {
+	c, err := NewCluster(Config{
+		N:       3,
+		Seed:    1,
+		NewNode: func(id, n int) tme.Node { return ra.New(id, n) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Start()
+	defer c.Stop()
+	c.Request(0)
+	if !waitFor(t, 5*time.Second, func() bool { return c.Phase(0) == tme.Eating }) {
+		t.Fatal("node 0 never entered")
+	}
+	if got := c.Entries(); len(got) != 1 || got[0].ID != 0 {
+		t.Fatalf("entries = %v", got)
+	}
+	c.Release(0)
+	if !waitFor(t, 5*time.Second, func() bool { return c.Phase(0) == tme.Thinking }) {
+		t.Fatal("node 0 never released")
+	}
+}
+
+func TestClusterMutualExclusionUnderContention(t *testing.T) {
+	const n = 4
+	c, err := NewCluster(Config{
+		N:       n,
+		Seed:    2,
+		NewNode: func(id, nn int) tme.Node { return lamport.New(id, nn) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	entryCh := make(chan Entry, 64)
+	c.OnEntry(func(e Entry) { entryCh <- e })
+	c.Start()
+	defer c.Stop()
+
+	const rounds = 3
+	for round := 0; round < rounds; round++ {
+		for i := 0; i < n; i++ {
+			c.Request(i)
+		}
+		for i := 0; i < n; i++ {
+			select {
+			case e := <-entryCh:
+				// Exactly one eater at a time: the entrant must be the
+				// only eating process right now.
+				eating := 0
+				for j := 0; j < n; j++ {
+					if c.Phase(j) == tme.Eating {
+						eating++
+					}
+				}
+				if eating > 1 {
+					t.Fatalf("round %d: %d simultaneous eaters", round, eating)
+				}
+				c.Release(e.ID)
+			case <-time.After(10 * time.Second):
+				t.Fatalf("round %d: timed out waiting for entry %d", round, i)
+			}
+		}
+	}
+	if got := len(c.Entries()); got != rounds*n {
+		t.Errorf("total entries = %d, want %d", got, rounds*n)
+	}
+}
+
+// The wrapper recovers a real concurrent cluster from heavy message loss —
+// Theorem 8 on goroutines instead of virtual time.
+func TestClusterWrapperRecoversFromLoss(t *testing.T) {
+	c, err := NewCluster(Config{
+		N:        3,
+		Seed:     3,
+		NewNode:  func(id, n int) tme.Node { return ra.New(id, n) },
+		LossRate: 0.4,
+		NewWrapper: func(int) wrapper.Level2 {
+			return wrapper.Func(wrapper.W) // eager: every tick
+		},
+		WrapperTick: time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Start()
+	defer c.Stop()
+	for i := 0; i < 3; i++ {
+		c.Request(i)
+	}
+	// All three must eventually eat despite 40% loss.
+	served := map[int]bool{}
+	deadline := time.Now().Add(20 * time.Second)
+	for len(served) < 3 && time.Now().Before(deadline) {
+		for _, e := range c.Entries() {
+			if !served[e.ID] {
+				served[e.ID] = true
+				c.Release(e.ID)
+			}
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if len(served) != 3 {
+		t.Fatalf("served %v, want all of 0..2 (starvation under loss)", served)
+	}
+}
+
+func TestClusterDuplicationTolerated(t *testing.T) {
+	c, err := NewCluster(Config{
+		N:       2,
+		Seed:    4,
+		NewNode: func(id, n int) tme.Node { return ra.New(id, n) },
+		DupRate: 0.5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Start()
+	defer c.Stop()
+	for round := 0; round < 5; round++ {
+		c.Request(0)
+		if !waitFor(t, 5*time.Second, func() bool { return c.Phase(0) == tme.Eating }) {
+			t.Fatalf("round %d: node 0 never entered", round)
+		}
+		c.Release(0)
+		if !waitFor(t, 5*time.Second, func() bool { return c.Phase(0) == tme.Thinking }) {
+			t.Fatalf("round %d: node 0 never released", round)
+		}
+	}
+}
+
+func TestClusterCorruptAndSnapshot(t *testing.T) {
+	c, err := NewCluster(Config{
+		N:       2,
+		Seed:    5,
+		NewNode: func(id, n int) tme.Node { return ra.New(id, n) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Start()
+	defer c.Stop()
+	c.Corrupt(0, tme.Corruption{Phase: tme.Hungry})
+	snap := c.Snapshot(0)
+	if snap.Phase != tme.Hungry {
+		t.Errorf("snapshot phase = %v, want hungry", snap.Phase)
+	}
+	if c.N() != 2 {
+		t.Errorf("N = %d", c.N())
+	}
+}
+
+func TestStopIsIdempotentAndJoinsGoroutines(t *testing.T) {
+	c, err := NewCluster(Config{
+		N:       3,
+		Seed:    6,
+		NewNode: func(id, n int) tme.Node { return ra.New(id, n) },
+		NewWrapper: func(int) wrapper.Level2 {
+			return wrapper.NewTimed(0)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Start()
+	c.Request(0)
+	time.Sleep(10 * time.Millisecond)
+	done := make(chan struct{})
+	go func() {
+		c.Stop()
+		c.Stop() // second call must not panic or hang
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("Stop did not join all goroutines")
+	}
+}
+
+// A level-1 wrapper repairs an invalid phase on the live cluster while the
+// level-2 wrapper keeps inter-process state consistent.
+func TestClusterLevel1Repair(t *testing.T) {
+	c, err := NewCluster(Config{
+		N:       2,
+		Seed:    8,
+		NewNode: func(id, n int) tme.Node { return ra.New(id, n) },
+		Level1:  wrapper.PhaseGuard{},
+		NewWrapper: func(int) wrapper.Level2 {
+			return wrapper.Func(wrapper.W)
+		},
+		WrapperTick: time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Start()
+	defer c.Stop()
+	c.Corrupt(0, tme.Corruption{Phase: tme.Phase(9)})
+	if !waitFor(t, 5*time.Second, func() bool { return c.Phase(0).Valid() }) {
+		t.Fatal("PhaseGuard never repaired the phase")
+	}
+	// The repaired process can then be served normally.
+	c.Request(0)
+	if !waitFor(t, 5*time.Second, func() bool { return c.Phase(0) == tme.Eating }) {
+		t.Fatal("repaired process never entered the CS")
+	}
+}
+
+func TestNewTimedClampsNegativeDelta(t *testing.T) {
+	w := wrapper.NewTimed(-7)
+	if w.Delta != 0 {
+		t.Errorf("Delta = %d, want 0", w.Delta)
+	}
+}
+
+// Soak: a lossy, duplicating cluster with wrapper and level-1 guard under
+// repeated corruption keeps serving requests. Guarded by -short.
+func TestClusterSoak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test")
+	}
+	const n = 4
+	c, err := NewCluster(Config{
+		N:        n,
+		Seed:     99,
+		NewNode:  func(id, nn int) tme.Node { return ra.New(id, nn) },
+		LossRate: 0.2,
+		DupRate:  0.1,
+		Level1:   wrapper.PhaseGuard{},
+		NewWrapper: func(int) wrapper.Level2 {
+			return wrapper.Func(wrapper.W)
+		},
+		WrapperTick: time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Start()
+	defer c.Stop()
+
+	served := 0
+	deadline := time.Now().Add(20 * time.Second)
+	round := 0
+	for served < 12 && time.Now().Before(deadline) {
+		round++
+		for i := 0; i < n; i++ {
+			c.Request(i)
+		}
+		if round%2 == 0 {
+			// Periodic transient corruption.
+			c.Corrupt(round%n, tme.Corruption{Phase: tme.Thinking})
+		}
+		start := len(c.Entries())
+		for time.Now().Before(deadline) {
+			entries := c.Entries()
+			if len(entries) > start {
+				for _, e := range entries[start:] {
+					c.Release(e.ID)
+					served++
+				}
+				break
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+	if served < 12 {
+		t.Fatalf("only %d entries served under soak", served)
+	}
+}
+
+func TestEdgeIndexCoversAllPairs(t *testing.T) {
+	c, err := NewCluster(Config{
+		N:       5,
+		Seed:    7,
+		NewNode: func(id, n int) tme.Node { return ra.New(id, n) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[int]bool{}
+	for s := 0; s < 5; s++ {
+		for d := 0; d < 5; d++ {
+			if s == d {
+				continue
+			}
+			idx := c.edgeIndex(s, d)
+			if idx < 0 || idx >= len(c.edges) {
+				t.Fatalf("edgeIndex(%d,%d) = %d out of range", s, d, idx)
+			}
+			e := c.edges[idx]
+			if e.src != s || e.dst != d {
+				t.Fatalf("edgeIndex(%d,%d) → edge (%d,%d)", s, d, e.src, e.dst)
+			}
+			if seen[idx] {
+				t.Fatalf("edgeIndex collision at %d", idx)
+			}
+			seen[idx] = true
+		}
+	}
+}

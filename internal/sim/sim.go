@@ -1,0 +1,502 @@
+// Package sim is a deterministic discrete-event simulator for the TME
+// system model of DSN 2001 §3.1: asynchronous processes communicating over
+// FIFO channels with arbitrary-but-finite delays. It is the paper's
+// (unstated) testbed, rebuilt: every run is a pure function of its
+// configuration and seed, so experiments are reproducible and convergence
+// can be measured in virtual time.
+//
+// The simulator drives tme.Node implementations (internal/ra,
+// internal/lamport), optionally composes each with a graybox wrapper
+// (internal/wrapper) — realizing the M ▯ W composition operationally — and
+// exposes hooks for the fault injector (internal/fault) and for spec
+// monitors (internal/lspec) via per-event observers.
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/graybox-stabilization/graybox/internal/channel"
+	"github.com/graybox-stabilization/graybox/internal/ltime"
+	"github.com/graybox-stabilization/graybox/internal/tme"
+	"github.com/graybox-stabilization/graybox/internal/wrapper"
+)
+
+// Config parameterizes a simulation. NewNode and N are required; zero
+// values elsewhere select sensible defaults (see field comments).
+type Config struct {
+	// N is the number of processes (required, ≥ 1).
+	N int
+	// Seed drives every random choice in the run.
+	Seed int64
+	// NewNode constructs process id of n (required): ra.New, lamport.New,
+	// or any other tme.Node implementation.
+	NewNode func(id, n int) tme.Node
+	// NewWrapper, when non-nil, attaches a level-2 wrapper to each
+	// process, realizing M ▯ W. Called once per process id.
+	NewWrapper func(id int) wrapper.Level2
+	// Level1, when non-nil, is the level-1 wrapper run on each process
+	// after every event at it.
+	Level1 wrapper.Level1
+	// WrapperEvery is the cadence (virtual ticks) of wrapper timer
+	// events; default 1. Only meaningful when NewWrapper is set.
+	WrapperEvery int64
+	// MinDelay and MaxDelay bound per-message transmission delay in
+	// virtual ticks. Defaults: 1 and 5.
+	MinDelay, MaxDelay int64
+	// Workload, when true, runs a closed-loop client at every process:
+	// think, request, eat, release, repeat.
+	Workload bool
+	// ThinkMin/ThinkMax bound think time. Defaults: 5 and 20.
+	ThinkMin, ThinkMax int64
+	// EatTime is how long a process eats before releasing. Default 3.
+	EatTime int64
+	// MaxRequests caps requests issued per process (0 = unlimited).
+	MaxRequests int
+}
+
+func (c *Config) withDefaults() Config {
+	out := *c
+	if out.MinDelay == 0 && out.MaxDelay == 0 {
+		out.MinDelay, out.MaxDelay = 1, 5
+	}
+	if out.MaxDelay < out.MinDelay {
+		out.MaxDelay = out.MinDelay
+	}
+	if out.WrapperEvery <= 0 {
+		out.WrapperEvery = 1
+	}
+	if out.ThinkMin == 0 && out.ThinkMax == 0 {
+		out.ThinkMin, out.ThinkMax = 5, 20
+	}
+	if out.ThinkMax < out.ThinkMin {
+		out.ThinkMax = out.ThinkMin
+	}
+	if out.EatTime <= 0 {
+		out.EatTime = 3
+	}
+	return out
+}
+
+// Entry records one CS entry.
+type Entry struct {
+	// Time is the virtual time of the entry.
+	Time int64
+	// ID is the entering process.
+	ID int
+	// REQ is the request timestamp it entered with.
+	REQ ltime.Timestamp
+}
+
+// Metrics accumulates counters over a run.
+type Metrics struct {
+	// Entries lists every CS entry in order.
+	Entries []Entry
+	// ProgramMsgs and WrapperMsgs count messages by origin.
+	ProgramMsgs, WrapperMsgs int
+	// MsgsByKind counts sent messages by kind (program + wrapper).
+	MsgsByKind map[tme.Kind]int
+	// Delivered counts messages actually delivered.
+	Delivered int
+	// Requests and Releases count client actions performed.
+	Requests, Releases int
+	// Events counts processed simulator events.
+	Events int64
+}
+
+// GlobalState is a plain-data snapshot of the whole system, consumed by
+// spec monitors.
+type GlobalState struct {
+	// Time is the snapshot's virtual time.
+	Time int64
+	// Nodes holds one SpecState per process, indexed by id.
+	Nodes []tme.SpecState
+	// InFlight holds all queued messages, in deterministic endpoint
+	// order, head first per channel.
+	InFlight []tme.Message
+}
+
+// Eating returns the ids of processes currently eating.
+func (g *GlobalState) Eating() []int {
+	var out []int
+	for _, s := range g.Nodes {
+		if s.Phase == tme.Eating {
+			out = append(out, s.ID)
+		}
+	}
+	return out
+}
+
+// Observer is called after every processed event with the up-to-date
+// simulation. Observers may read state (Snapshot, Node, Now) but must not
+// mutate the simulation.
+type Observer func(s *Sim)
+
+// event is one scheduled occurrence. seq breaks time ties deterministically
+// in schedule order.
+type event struct {
+	time int64
+	seq  uint64
+	act  func(s *Sim)
+}
+
+// Sim is one simulation instance. Construct with New, then Run.
+type Sim struct {
+	cfg      Config
+	rng      *rand.Rand
+	now      int64
+	seq      uint64
+	queue    eventHeap
+	nodes    []tme.Node
+	wrappers []wrapper.Level2
+	net      *channel.Net[tme.Message]
+	eps      []channel.Endpoint // cached deterministic endpoint order
+	requests []int              // requests issued per node
+	relPend  []bool             // release scheduled and not yet performed, per node
+	metrics  Metrics
+	observer Observer
+	stopped  bool
+}
+
+// New constructs a simulator from cfg. It panics only on a nil NewNode or
+// non-positive N (programming errors, not runtime conditions).
+func New(cfg Config) *Sim {
+	if cfg.N < 1 || cfg.NewNode == nil {
+		panic("sim: Config.N and Config.NewNode are required")
+	}
+	c := cfg.withDefaults()
+	s := &Sim{
+		cfg:      c,
+		rng:      rand.New(rand.NewSource(c.Seed)),
+		nodes:    make([]tme.Node, c.N),
+		net:      channel.NewNet[tme.Message](c.N),
+		requests: make([]int, c.N),
+		relPend:  make([]bool, c.N),
+		metrics:  Metrics{MsgsByKind: make(map[tme.Kind]int)},
+	}
+	for i := range s.nodes {
+		s.nodes[i] = c.NewNode(i, c.N)
+	}
+	if c.NewWrapper != nil {
+		s.wrappers = make([]wrapper.Level2, c.N)
+		for i := range s.wrappers {
+			s.wrappers[i] = c.NewWrapper(i)
+			s.scheduleWrapperTick(i, 0)
+		}
+	}
+	if c.Workload {
+		for i := 0; i < c.N; i++ {
+			s.scheduleClientTick(i, s.thinkTime())
+		}
+	}
+	return s
+}
+
+// SetObserver installs the per-event observer (nil to remove).
+func (s *Sim) SetObserver(o Observer) { s.observer = o }
+
+// Now returns the current virtual time.
+func (s *Sim) Now() int64 { return s.now }
+
+// Node returns process i.
+func (s *Sim) Node(i int) tme.Node { return s.nodes[i] }
+
+// N returns the number of processes.
+func (s *Sim) N() int { return s.cfg.N }
+
+// Net exposes the channel mesh for fault injection.
+func (s *Sim) Net() *channel.Net[tme.Message] { return s.net }
+
+// RNG returns the simulation's seeded random source. Fault injectors use it
+// so that a whole experiment remains a function of one seed.
+func (s *Sim) RNG() *rand.Rand { return s.rng }
+
+// Metrics returns the accumulated metrics.
+func (s *Sim) Metrics() *Metrics { return &s.metrics }
+
+// Stop ends the run after the current event.
+func (s *Sim) Stop() { s.stopped = true }
+
+func (s *Sim) thinkTime() int64 {
+	return s.cfg.ThinkMin + s.rng.Int63n(s.cfg.ThinkMax-s.cfg.ThinkMin+1)
+}
+
+func (s *Sim) delay() int64 {
+	return s.cfg.MinDelay + s.rng.Int63n(s.cfg.MaxDelay-s.cfg.MinDelay+1)
+}
+
+// At schedules fn at absolute virtual time t (clamped to now for past
+// times). Fault injectors and tests use it to place faults precisely.
+func (s *Sim) At(t int64, fn func(s *Sim)) {
+	if t < s.now {
+		t = s.now
+	}
+	s.seq++
+	s.queue.push(event{time: t, seq: s.seq, act: fn})
+}
+
+// send routes msgs into the network, scheduling deliveries. fromWrapper
+// attributes the messages in the metrics.
+func (s *Sim) send(msgs []tme.Message, fromWrapper bool) {
+	for _, m := range msgs {
+		if m.From < 0 || m.From >= s.cfg.N || m.To < 0 || m.To >= s.cfg.N || m.From == m.To {
+			continue
+		}
+		s.net.Send(m.From, m.To, m)
+		s.metrics.MsgsByKind[m.Kind]++
+		if fromWrapper {
+			s.metrics.WrapperMsgs++
+		} else {
+			s.metrics.ProgramMsgs++
+		}
+		s.ScheduleDelivery(channel.Endpoint{Src: m.From, Dst: m.To}, s.delay())
+	}
+}
+
+// ScheduleDelivery schedules one head-of-channel delivery on ep after the
+// given delay. The fault injector calls this when it duplicates a message,
+// so the extra copy has a delivery opportunity.
+func (s *Sim) ScheduleDelivery(ep channel.Endpoint, delay int64) {
+	s.At(s.now+delay, func(s *Sim) { s.deliver(ep) })
+}
+
+// deliver pops the channel head (if any) into the destination node.
+func (s *Sim) deliver(ep channel.Endpoint) {
+	q := s.net.Chan(ep.Src, ep.Dst)
+	if q == nil {
+		return
+	}
+	m, ok := q.Recv()
+	if !ok {
+		return // lost to a fault; the delivery opportunity passes
+	}
+	s.metrics.Delivered++
+	out := s.nodes[ep.Dst].Deliver(m)
+	s.send(out, false)
+	s.afterEventAt(ep.Dst)
+}
+
+// afterEventAt runs the internal step (CS entry) and level-1 wrapper of
+// node i after an event touched it.
+func (s *Sim) afterEventAt(i int) {
+	s.runLevel1(i)
+	if entered, msgs := s.nodes[i].Step(); entered {
+		s.send(msgs, false)
+		s.metrics.Entries = append(s.metrics.Entries, Entry{
+			Time: s.now, ID: i, REQ: s.nodes[i].REQ(),
+		})
+		if s.cfg.Workload && !s.relPend[i] {
+			s.relPend[i] = true
+			s.At(s.now+s.cfg.EatTime, func(s *Sim) { s.release(i) })
+		}
+	}
+}
+
+// scheduleClientTick arms the next closed-loop client action at node i.
+func (s *Sim) scheduleClientTick(i int, after int64) {
+	s.At(s.now+after, func(s *Sim) { s.clientTick(i) })
+}
+
+// runLevel1 executes the level-1 wrapper on node i, if configured. It is
+// driven from every occasion the process "runs" — deliveries, client
+// actions, and the periodic ticks — because a corrupted process that
+// receives no messages still must repair itself (the level-1 wrapper is a
+// local program, not a message handler).
+func (s *Sim) runLevel1(i int) {
+	if s.cfg.Level1 != nil {
+		s.cfg.Level1.CheckRepair(s.nodes[i])
+	}
+}
+
+// clientTick drives one process's closed-loop client: request when thinking,
+// audit a missing release when eating (a fault may have moved the phase
+// without the client noticing — CS Spec obliges the client to keep eating
+// transient from any state), wait when hungry. The loop parks — stops
+// rescheduling itself — once the request budget is spent and the process is
+// back to thinking, so bounded workloads drain the event queue and Run can
+// terminate before its horizon.
+func (s *Sim) clientTick(i int) {
+	s.runLevel1(i)
+	budgetLeft := s.cfg.MaxRequests == 0 || s.requests[i] < s.cfg.MaxRequests
+	switch s.nodes[i].Phase() {
+	case tme.Thinking:
+		if !budgetLeft {
+			return // park: the client's work is done
+		}
+		s.doRequest(i)
+	case tme.Eating:
+		if !s.relPend[i] {
+			s.release(i)
+		}
+	default:
+		// Hungry (waiting on the algorithm) or an invalid phase (level-1
+		// wrapper territory): nothing for the client to do.
+	}
+	s.scheduleClientTick(i, s.thinkTime())
+}
+
+// doRequest performs the client "Request CS" action at node i if thinking.
+func (s *Sim) doRequest(i int) {
+	if s.nodes[i].Phase() != tme.Thinking {
+		return
+	}
+	s.requests[i]++
+	s.metrics.Requests++
+	s.send(s.nodes[i].RequestCS(), false)
+	s.afterEventAt(i)
+}
+
+// release performs the client "Release CS" action at node i.
+func (s *Sim) release(i int) {
+	s.relPend[i] = false
+	if s.nodes[i].Phase() != tme.Eating {
+		return // a fault moved the phase; nothing to release
+	}
+	s.metrics.Releases++
+	s.send(s.nodes[i].ReleaseCS(), false)
+	s.afterEventAt(i)
+}
+
+// Request asks node i to request the CS now (manual workload control for
+// examples and tests). It is a no-op unless the node is thinking.
+func (s *Sim) Request(i int) { s.At(s.now, func(s *Sim) { s.doRequest(i) }) }
+
+// Release asks node i to release the CS now.
+func (s *Sim) Release(i int) { s.At(s.now, func(s *Sim) { s.release(i) }) }
+
+// scheduleWrapperTick arms node i's next wrapper timer event.
+func (s *Sim) scheduleWrapperTick(i int, after int64) {
+	s.At(s.now+after, func(s *Sim) {
+		s.runLevel1(i)
+		msgs := s.wrappers[i].Fire(s.now, s.nodes[i])
+		s.send(msgs, true)
+		s.scheduleWrapperTick(i, s.cfg.WrapperEvery)
+	})
+}
+
+// Run processes events until the queue drains, time exceeds horizon, or
+// Stop is called. It returns the number of events processed in this call.
+func (s *Sim) Run(horizon int64) int64 {
+	var n int64
+	for !s.stopped {
+		ev, ok := s.queue.peek()
+		if !ok || ev.time > horizon {
+			break
+		}
+		s.queue.pop()
+		s.now = ev.time
+		ev.act(s)
+		s.metrics.Events++
+		n++
+		if s.observer != nil {
+			s.observer(s)
+		}
+	}
+	if s.now < horizon {
+		s.now = horizon
+	}
+	return n
+}
+
+// Snapshot captures the global state for spec monitors.
+func (s *Sim) Snapshot() GlobalState {
+	var g GlobalState
+	s.SnapshotInto(&g)
+	return g
+}
+
+// SnapshotInto fills g with the current global state, reusing g's slices.
+// Observers that snapshot on every event use two rotating buffers to avoid
+// per-event allocation (see lspec.Monitors.AsObserver).
+func (s *Sim) SnapshotInto(g *GlobalState) {
+	g.Time = s.now
+	if cap(g.Nodes) < s.cfg.N {
+		g.Nodes = make([]tme.SpecState, s.cfg.N)
+	}
+	g.Nodes = g.Nodes[:s.cfg.N]
+	for i, nd := range s.nodes {
+		tme.SnapshotInto(nd, &g.Nodes[i])
+	}
+	g.InFlight = g.InFlight[:0]
+	for _, ep := range s.endpoints() {
+		q := s.net.Chan(ep.Src, ep.Dst)
+		for i := 0; i < q.Len(); i++ {
+			g.InFlight = append(g.InFlight, q.At(i))
+		}
+	}
+}
+
+// endpoints caches the deterministic endpoint order.
+func (s *Sim) endpoints() []channel.Endpoint {
+	if s.eps == nil {
+		s.eps = s.net.Endpoints()
+	}
+	return s.eps
+}
+
+// String summarizes the run for logs.
+func (s *Sim) String() string {
+	return fmt.Sprintf("sim{n=%d t=%d entries=%d msgs=%d+%d}",
+		s.cfg.N, s.now, len(s.metrics.Entries), s.metrics.ProgramMsgs, s.metrics.WrapperMsgs)
+}
+
+// eventHeap is a binary min-heap ordered by (time, seq).
+type eventHeap struct {
+	items []event
+}
+
+func (h *eventHeap) less(i, j int) bool {
+	if h.items[i].time != h.items[j].time {
+		return h.items[i].time < h.items[j].time
+	}
+	return h.items[i].seq < h.items[j].seq
+}
+
+func (h *eventHeap) push(e event) {
+	h.items = append(h.items, e)
+	i := len(h.items) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(i, parent) {
+			break
+		}
+		h.items[i], h.items[parent] = h.items[parent], h.items[i]
+		i = parent
+	}
+}
+
+func (h *eventHeap) peek() (event, bool) {
+	if len(h.items) == 0 {
+		return event{}, false
+	}
+	return h.items[0], true
+}
+
+func (h *eventHeap) pop() (event, bool) {
+	if len(h.items) == 0 {
+		return event{}, false
+	}
+	top := h.items[0]
+	last := len(h.items) - 1
+	h.items[0] = h.items[last]
+	h.items = h.items[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < len(h.items) && h.less(l, smallest) {
+			smallest = l
+		}
+		if r < len(h.items) && h.less(r, smallest) {
+			smallest = r
+		}
+		if smallest == i {
+			break
+		}
+		h.items[i], h.items[smallest] = h.items[smallest], h.items[i]
+		i = smallest
+	}
+	return top, true
+}
+
+func (h *eventHeap) len() int { return len(h.items) }

@@ -1,0 +1,38 @@
+package spec_test
+
+import (
+	"fmt"
+
+	"github.com/graybox-stabilization/graybox/internal/spec"
+)
+
+// ExampleLeadsTo checks the UNITY leads-to operator over a finite trace:
+// every occurrence of 1 must be followed by a 9.
+func ExampleLeadsTo() {
+	eq := func(n int) spec.Predicate[int] {
+		return func(s int) bool { return s == n }
+	}
+	good := []int{0, 1, 3, 9, 1, 9}
+	bad := []int{0, 1, 3}
+	fmt.Println("good trace:", spec.LeadsTo(good, eq(1), eq(9)))
+	fmt.Println("bad trace: ", spec.LeadsTo(bad, eq(1), eq(9)))
+	// Output:
+	// good trace: <nil>
+	// bad trace:  leads-to violated at trace index 1: p held but q never held at or after it within the trace
+}
+
+// ExampleUnless checks the UNITY unless operator: once the counter is at
+// least 2 it may only leave that condition by reaching 5.
+func ExampleUnless() {
+	ge := func(n int) spec.Predicate[int] {
+		return func(s int) bool { return s >= n }
+	}
+	eq := func(n int) spec.Predicate[int] {
+		return func(s int) bool { return s == n }
+	}
+	fmt.Println(spec.Unless([]int{2, 3, 5, 0}, spec.And(ge(2), spec.Not(eq(5))), eq(5)))
+	fmt.Println(spec.Unless([]int{2, 0}, ge(2), eq(5)) != nil)
+	// Output:
+	// <nil>
+	// true
+}

@@ -1,0 +1,175 @@
+// Package spec implements the UNITY-style temporal predicates the paper
+// states its specifications in (DSN 2001, §3.1, after Chandy & Misra):
+//
+//	p unless q   — if p ∧ ¬q holds at a state, the next state satisfies p ∨ q
+//	stable(p)    — p unless false
+//	invariant(p) — p holds initially and stable(p)
+//	p ↦ q        — p leads-to q: whenever p holds, q holds then or later
+//	p ↪ q        — p leads-to-always q: (p ↦ q) ∧ stable(q)
+//
+// Two evaluation modes are provided. Trace functions (Unless, LeadsTo, …)
+// decide a predicate over a complete finite computation. Monitors consume
+// states one at a time, for streaming checks over long simulations without
+// retaining the trace.
+package spec
+
+import "fmt"
+
+// Predicate is a state predicate over states of type S.
+type Predicate[S any] func(S) bool
+
+// And returns the conjunction of predicates.
+func And[S any](ps ...Predicate[S]) Predicate[S] {
+	return func(s S) bool {
+		for _, p := range ps {
+			if !p(s) {
+				return false
+			}
+		}
+		return true
+	}
+}
+
+// Or returns the disjunction of predicates.
+func Or[S any](ps ...Predicate[S]) Predicate[S] {
+	return func(s S) bool {
+		for _, p := range ps {
+			if p(s) {
+				return true
+			}
+		}
+		return false
+	}
+}
+
+// Not returns the negation of p.
+func Not[S any](p Predicate[S]) Predicate[S] {
+	return func(s S) bool { return !p(s) }
+}
+
+// True is the predicate that holds everywhere.
+func True[S any](S) bool { return true }
+
+// False is the predicate that holds nowhere.
+func False[S any](S) bool { return false }
+
+// Violation describes where in a trace a temporal predicate failed.
+type Violation struct {
+	// Op names the operator that failed ("unless", "stable", "invariant",
+	// "leads-to", "leads-to-always").
+	Op string
+	// Index is the trace position of the failure: for unless/stable the
+	// index of the state whose successor broke the property; for leads-to
+	// the index where the antecedent held but the consequent never
+	// followed.
+	Index int
+	// Detail is a human-readable elaboration.
+	Detail string
+}
+
+// Error implements error so checkers can return *Violation directly.
+func (v *Violation) Error() string {
+	return fmt.Sprintf("%s violated at trace index %d: %s", v.Op, v.Index, v.Detail)
+}
+
+// Unless checks "p unless q" over trace. It returns nil if the property
+// holds, or the first violation: a state where p ∧ ¬q held but the successor
+// satisfied ¬p ∧ ¬q.
+func Unless[S any](trace []S, p, q Predicate[S]) *Violation {
+	for i := 0; i+1 < len(trace); i++ {
+		if p(trace[i]) && !q(trace[i]) {
+			next := trace[i+1]
+			if !p(next) && !q(next) {
+				return &Violation{
+					Op:     "unless",
+					Index:  i,
+					Detail: "p ∧ ¬q held but next state satisfies ¬p ∧ ¬q",
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// Stable checks stable(p) = p unless false over trace.
+func Stable[S any](trace []S, p Predicate[S]) *Violation {
+	if v := Unless(trace, p, False[S]); v != nil {
+		return &Violation{Op: "stable", Index: v.Index, Detail: "p held but next state falsifies p"}
+	}
+	return nil
+}
+
+// Invariant checks "p is invariant": p holds at trace[0] and stable(p).
+func Invariant[S any](trace []S, p Predicate[S]) *Violation {
+	if len(trace) == 0 {
+		return nil
+	}
+	if !p(trace[0]) {
+		return &Violation{Op: "invariant", Index: 0, Detail: "p does not hold initially"}
+	}
+	if v := Stable(trace, p); v != nil {
+		return &Violation{Op: "invariant", Index: v.Index, Detail: v.Detail}
+	}
+	return nil
+}
+
+// LeadsTo checks p ↦ q over a finite trace: every position where p holds
+// must be followed (at that position or later) by a position where q holds.
+// On a finite trace this is necessarily an approximation of the infinitary
+// property; an obligation still open at the end of the trace is reported as
+// a violation, so callers should run traces past quiescence.
+func LeadsTo[S any](trace []S, p, q Predicate[S]) *Violation {
+	// Scan right-to-left tracking the nearest future q.
+	nextQ := -1
+	earliestUnmet := -1
+	for i := len(trace) - 1; i >= 0; i-- {
+		if q(trace[i]) {
+			nextQ = i
+		}
+		if p(trace[i]) && nextQ == -1 {
+			earliestUnmet = i
+		}
+	}
+	if earliestUnmet >= 0 {
+		return &Violation{
+			Op:     "leads-to",
+			Index:  earliestUnmet,
+			Detail: "p held but q never held at or after it within the trace",
+		}
+	}
+	return nil
+}
+
+// LeadsToAlways checks p ↪ q = (p ↦ q) ∧ stable(q).
+func LeadsToAlways[S any](trace []S, p, q Predicate[S]) *Violation {
+	if v := LeadsTo(trace, p, q); v != nil {
+		return &Violation{Op: "leads-to-always", Index: v.Index, Detail: v.Detail}
+	}
+	if v := Stable(trace, q); v != nil {
+		return &Violation{Op: "leads-to-always", Index: v.Index, Detail: "q not stable: " + v.Detail}
+	}
+	return nil
+}
+
+// EventuallyAlways checks ◇□p over the finite trace: some suffix satisfies p
+// in every state. This is the shape of stabilization claims ("a suffix that
+// is a suffix of a legitimate computation"). It returns the index at which
+// the final all-p suffix begins, or a violation if the last state itself
+// falsifies p.
+func EventuallyAlways[S any](trace []S, p Predicate[S]) (suffixStart int, v *Violation) {
+	if len(trace) == 0 {
+		return 0, nil
+	}
+	i := len(trace)
+	for i > 0 && p(trace[i-1]) {
+		i--
+	}
+	if i == len(trace) {
+		return 0, &Violation{
+			Op:     "eventually-always",
+			Index:  len(trace) - 1,
+			Detail: "final state falsifies p; no stable suffix",
+		}
+	}
+	return i, nil
+}

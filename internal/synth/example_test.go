@@ -1,0 +1,26 @@
+package synth_test
+
+import (
+	"fmt"
+
+	"github.com/graybox-stabilization/graybox/internal/graybox"
+	"github.com/graybox-stabilization/graybox/internal/synth"
+)
+
+// ExampleSynthesize repairs the paper's Figure 1: the synthesized strategy
+// gives the fault state s* a recovery transition, after which the wrapped
+// implementation stabilizes to the specification.
+func ExampleSynthesize() {
+	a, c := graybox.Fig1A(), graybox.Fig1C()
+	st, err := synth.Synthesize(a, synth.AllCandidates(a.NumStates()))
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println("strategy acts on states:", st.Active())
+	ok, _ := graybox.StabilizingTo(st.Wrapped(c), a)
+	fmt.Println("wrapped C stabilizing to A:", ok)
+	// Output:
+	// strategy acts on states: [4]
+	// wrapped C stabilizing to A: true
+}

@@ -1,0 +1,171 @@
+// Package synth implements the research direction named in the paper's
+// concluding remarks: automatic synthesis of graybox stabilization. Given a
+// finite specification A (as a graybox.System) and a set of candidate
+// recovery transitions, it computes a wrapper strategy that makes A
+// stabilizing to itself — using only A (graybox knowledge), never an
+// implementation.
+//
+// # Composition semantics
+//
+// A synthesized wrapper is not a plain transition union: under the ▯
+// (union) composition, added transitions can never remove A's illegitimate
+// cycles. Operationally a wrapper preempts the wrapped system while
+// recovery is needed — exactly how W' runs in the simulator, where the
+// timer action fires with priority whenever the guard is open. We model
+// that as the Override composition: in illegitimate states where the
+// strategy is defined, the strategy's transition replaces the system's; in
+// legitimate states the wrapper is silent (interference freedom, the
+// synthesis analogue of Lemma 6).
+//
+// # Algorithm
+//
+// Backward BFS from the legitimate set L = Reach_A(init(A)) over the
+// candidate transitions. Each illegitimate state is assigned the first
+// candidate edge that decreases its BFS distance to L, so the strategy
+// graph is a DAG into L and convergence is immediate by construction
+// (every escape path has length < |Σ|).
+package synth
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/graybox-stabilization/graybox/internal/graybox"
+)
+
+// ErrUnreachable is returned when some illegitimate state cannot reach the
+// legitimate set through any candidate transition; no strategy over those
+// candidates can stabilize the specification.
+var ErrUnreachable = errors.New("synth: some state cannot reach the legitimate set via the candidates")
+
+// Strategy is a synthesized recovery strategy for one specification: a
+// deterministic choice of recovery successor per illegitimate state.
+type Strategy struct {
+	// next[s] is the recovery successor of state s, or -1 where the
+	// strategy is silent (legitimate states).
+	next []int
+	// dist[s] is the number of recovery steps from s to the legitimate
+	// set (0 inside it).
+	dist []int
+}
+
+// Next returns the recovery successor of s, or -1 if the strategy is silent
+// at s.
+func (st *Strategy) Next(s int) int { return st.next[s] }
+
+// Distance returns the number of recovery steps from s to the legitimate
+// set (0 for legitimate states).
+func (st *Strategy) Distance(s int) int { return st.dist[s] }
+
+// MaxDistance returns the worst-case recovery length.
+func (st *Strategy) MaxDistance() int {
+	max := 0
+	for _, d := range st.dist {
+		if d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// Active returns the states at which the strategy acts, ascending.
+func (st *Strategy) Active() []int {
+	var out []int
+	for s, nx := range st.next {
+		if nx >= 0 {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// AllCandidates returns every possible transition over n states except
+// self-loops — the unconstrained (reset-capable) candidate set.
+func AllCandidates(n int) [][2]int {
+	out := make([][2]int, 0, n*(n-1))
+	for u := 0; u < n; u++ {
+		for v := 0; v < n; v++ {
+			if u != v {
+				out = append(out, [2]int{u, v})
+			}
+		}
+	}
+	return out
+}
+
+// Synthesize computes a recovery strategy for spec a over the given
+// candidate transitions. It returns ErrUnreachable (wrapped, with the stuck
+// states) if any state cannot reach a's legitimate set.
+func Synthesize(a *graybox.System, candidates [][2]int) (*Strategy, error) {
+	n := a.NumStates()
+	legit := a.Legitimate()
+
+	// rev[v] lists candidate sources u with an edge u→v.
+	rev := make([][]int, n)
+	for _, e := range candidates {
+		u, v := e[0], e[1]
+		if u < 0 || u >= n || v < 0 || v >= n {
+			return nil, fmt.Errorf("synth: candidate %d->%d out of range [0,%d)", u, v, n)
+		}
+		rev[v] = append(rev[v], u)
+	}
+
+	const inf = int(^uint(0) >> 1)
+	st := &Strategy{next: make([]int, n), dist: make([]int, n)}
+	var frontier []int
+	for s := 0; s < n; s++ {
+		st.next[s] = -1
+		if legit[s] {
+			st.dist[s] = 0
+			frontier = append(frontier, s)
+		} else {
+			st.dist[s] = inf
+		}
+	}
+	// Backward BFS: settle states by increasing distance to L.
+	for len(frontier) > 0 {
+		var next []int
+		for _, v := range frontier {
+			for _, u := range rev[v] {
+				if st.dist[u] != inf {
+					continue
+				}
+				st.dist[u] = st.dist[v] + 1
+				st.next[u] = v
+				next = append(next, u)
+			}
+		}
+		frontier = next
+	}
+
+	var stuck []int
+	for s := 0; s < n; s++ {
+		if st.dist[s] == inf {
+			stuck = append(stuck, s)
+		}
+	}
+	if len(stuck) > 0 {
+		return nil, fmt.Errorf("%w: states %v", ErrUnreachable, stuck)
+	}
+	return st, nil
+}
+
+// Wrapped returns the Override composition of a with the strategy: in
+// states where the strategy acts, its single recovery transition replaces
+// a's transitions; elsewhere a is unchanged. The result is stabilizing to a
+// by construction (verified in tests via graybox.StabilizingTo).
+func (st *Strategy) Wrapped(a *graybox.System) *graybox.System {
+	n := a.NumStates()
+	b := graybox.NewBuilder(a.Name()+" [override-synth]", n)
+	for u := 0; u < n; u++ {
+		if nx := st.next[u]; nx >= 0 {
+			b.AddTransition(u, nx)
+			continue
+		}
+		for _, v := range a.Successors(u) {
+			b.AddTransition(u, v)
+		}
+	}
+	b.SetInit(a.Init()...)
+	return b.MustBuild()
+}

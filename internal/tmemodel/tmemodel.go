@@ -1,0 +1,397 @@
+// Package tmemodel gives the paper's TME story a finite-state form the
+// graybox model checker (internal/graybox) can decide exhaustively: an
+// N-process abstraction of Lspec and of the wrapper W (N ∈ {2,3}), in which
+//
+//   - the §4 deadlock is a concrete illegitimate state the checker finds as
+//     a lasso counterexample on the unwrapped specification, and
+//   - composing the wrapper's transitions makes the system stabilizing to
+//     the specification — Lemma 7 / Theorem 8, machine-checked (72 states
+//     at N=2, 10368 at N=3).
+//
+// # The abstraction
+//
+// Timestamps are abstracted to a request order; channels to atomic
+// request/reply exchanges. A global state is
+//
+//	(p_0..p_{N-1}, π, {b_jk})
+//
+// where p_j ∈ {t,h,e} is process j's phase, π is a permutation ordering
+// processes by current request timestamp (earliest first), and b_jk
+// captures j's entry-guard component REQ_j lt j.REQ_k.
+//
+// Correct-protocol transitions (the specification; generated from every
+// state — everywhere semantics):
+//
+//	request_j : p_j=t → p_j:=h; π := π with j moved to the end;
+//	            b_jk := (p_k=t); b_kj := true for active k (k receives the
+//	            later request)
+//	grant_j   : p_j=h ∧ (∀k: b_jk) → p_j:=e
+//	release_j : p_j=e → p_j:=t; b_kj := true for hungry k (deferred
+//	            replies); j's own beliefs are cleared
+//
+// The wrapper W contributes the per-pair refresh transitions (guard
+// h_j ∧ ¬b_jk, the ¬(REQ_j lt j.REQ_k) reading):
+//
+//	refresh_jk: p_j=h ∧ ¬b_jk ∧ (p_k=t ∨ j before k in π) → b_jk:=true
+//
+// — j resends its request; k's reply restores the guard component exactly
+// when j's request precedes k's (or k is not competing).
+//
+// # Canonicalization
+//
+// A thinking process has no request, so its beliefs and its position in π
+// are meaningless; left uncanonicalized they split behaviorally identical
+// states and manufacture spurious cycles outside the legitimate set (a
+// solo requester would "cycle" through residual-field variants the
+// legitimate set happens not to contain). Every rule therefore produces a
+// canonical successor: thinking processes carry all-false beliefs and sit
+// at the tail of π sorted by id, while active processes keep their request
+// order at the front. Corrupted (non-canonical) states remain in the state
+// space — faults are arbitrary — and every rule maps them into canonical
+// form, which is itself part of the recovery story.
+//
+// Stuck states stutter, keeping the relation total — which is precisely
+// what makes the unwrapped deadlock a checkable bad cycle.
+package tmemodel
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/graybox-stabilization/graybox/internal/graybox"
+)
+
+// Phase values of the abstraction.
+const (
+	T = iota // thinking
+	H        // hungry
+	E        // eating
+)
+
+// Model is the N-process abstraction; construct with NewModel.
+type Model struct {
+	n     int
+	perms [][]int
+	// permIndex maps a permutation (as a byte string) to its index.
+	permIndex map[string]int
+	nStates   int
+}
+
+// NewModel returns the N-process abstraction. The state space grows as
+// 3^N·N!·2^(N(N-1)); the constructor rejects N outside [2,3] to prevent
+// accidental blowups.
+func NewModel(n int) (*Model, error) {
+	if n < 2 || n > 3 {
+		return nil, fmt.Errorf("tmemodel: NewModel supports 2 ≤ n ≤ 3, got %d", n)
+	}
+	m := &Model{n: n, permIndex: make(map[string]int)}
+	base := make([]int, n)
+	for i := range base {
+		base[i] = i
+	}
+	var gen func(cur []int, rest []int)
+	gen = func(cur []int, rest []int) {
+		if len(rest) == 0 {
+			p := append([]int(nil), cur...)
+			m.perms = append(m.perms, p)
+			return
+		}
+		for i := range rest {
+			next := append(append([]int(nil), rest[:i]...), rest[i+1:]...)
+			gen(append(cur, rest[i]), next)
+		}
+	}
+	gen(nil, base)
+	sort.Slice(m.perms, func(i, j int) bool { return permKey(m.perms[i]) < permKey(m.perms[j]) })
+	for i, p := range m.perms {
+		m.permIndex[permKey(p)] = i
+	}
+	m.nStates = pow(3, n) * len(m.perms) * pow(2, n*(n-1))
+	return m, nil
+}
+
+func permKey(p []int) string {
+	b := make([]byte, len(p))
+	for i, v := range p {
+		b[i] = byte(v)
+	}
+	return string(b)
+}
+
+func pow(b, e int) int {
+	out := 1
+	for i := 0; i < e; i++ {
+		out *= b
+	}
+	return out
+}
+
+// N returns the process count.
+func (m *Model) N() int { return m.n }
+
+// NumStates returns the size of the state space.
+func (m *Model) NumStates() int { return m.nStates }
+
+// GState is one decoded global state.
+type GState struct {
+	// Phase[j] ∈ {T,H,E}.
+	Phase []int
+	// Perm orders processes by request timestamp, earliest first.
+	Perm []int
+	// B[j][k] is b_jk (B[j][j] unused).
+	B [][]bool
+}
+
+// clone deep-copies the state.
+func (g GState) clone() GState {
+	out := GState{
+		Phase: append([]int(nil), g.Phase...),
+		Perm:  append([]int(nil), g.Perm...),
+		B:     make([][]bool, len(g.B)),
+	}
+	for i := range g.B {
+		out.B[i] = append([]bool(nil), g.B[i]...)
+	}
+	return out
+}
+
+// String renders the state compactly, e.g. "(hht π=[0 1 2] ...)".
+func (g GState) String() string {
+	ph := [3]byte{'t', 'h', 'e'}
+	ps := make([]byte, len(g.Phase))
+	for i, p := range g.Phase {
+		ps[i] = ph[p]
+	}
+	return fmt.Sprintf("(%s π=%v b=%v)", ps, g.Perm, g.B)
+}
+
+// canon returns the canonical form of g: active processes keep their
+// relative order at the front of π, thinking processes go to the tail
+// sorted by id with all-false beliefs.
+func (g GState) canon() GState {
+	out := g.clone()
+	var active, thinking []int
+	for _, j := range g.Perm {
+		if g.Phase[j] == T {
+			thinking = append(thinking, j)
+		} else {
+			active = append(active, j)
+		}
+	}
+	sort.Ints(thinking)
+	out.Perm = append(active, thinking...)
+	for _, j := range thinking {
+		for k := range out.B[j] {
+			out.B[j][k] = false
+		}
+	}
+	return out
+}
+
+// Encode maps a state to its index.
+func (m *Model) Encode(g GState) int {
+	i := 0
+	for _, p := range g.Phase {
+		i = i*3 + p
+	}
+	i = i*len(m.perms) + m.permIndex[permKey(g.Perm)]
+	for j := 0; j < m.n; j++ {
+		for k := 0; k < m.n; k++ {
+			if j == k {
+				continue
+			}
+			i = i * 2
+			if g.B[j][k] {
+				i++
+			}
+		}
+	}
+	return i
+}
+
+// Decode maps an index back to the state.
+func (m *Model) Decode(i int) GState {
+	g := GState{
+		Phase: make([]int, m.n),
+		Perm:  make([]int, m.n),
+		B:     make([][]bool, m.n),
+	}
+	for j := range g.B {
+		g.B[j] = make([]bool, m.n)
+	}
+	nb := m.n * (m.n - 1)
+	bits := i % pow(2, nb)
+	i /= pow(2, nb)
+	for j := m.n - 1; j >= 0; j-- {
+		for k := m.n - 1; k >= 0; k-- {
+			if j == k {
+				continue
+			}
+			g.B[j][k] = bits%2 == 1
+			bits /= 2
+		}
+	}
+	copy(g.Perm, m.perms[i%len(m.perms)])
+	i /= len(m.perms)
+	for j := m.n - 1; j >= 0; j-- {
+		g.Phase[j] = i % 3
+		i /= 3
+	}
+	return g
+}
+
+// pos returns j's position in the permutation (0 = earliest), or -1.
+func pos(perm []int, j int) int {
+	for i, v := range perm {
+		if v == j {
+			return i
+		}
+	}
+	return -1
+}
+
+// moveToEnd returns perm with j moved to the last (latest) position.
+func moveToEnd(perm []int, j int) []int {
+	out := make([]int, 0, len(perm))
+	for _, v := range perm {
+		if v != j {
+			out = append(out, v)
+		}
+	}
+	return append(out, j)
+}
+
+// SpecEdges returns the correct-protocol transitions.
+func (m *Model) SpecEdges() [][2]int {
+	var edges [][2]int
+	for i := 0; i < m.nStates; i++ {
+		g := m.Decode(i)
+		for j := 0; j < m.n; j++ {
+			switch g.Phase[j] {
+			case T: // request_j
+				n := g.clone()
+				n.Phase[j] = H
+				n.Perm = moveToEnd(g.Perm, j)
+				for k := 0; k < m.n; k++ {
+					if k == j {
+						continue
+					}
+					n.B[j][k] = g.Phase[k] == T
+					if g.Phase[k] != T {
+						n.B[k][j] = true // k learns of j's later request
+					}
+				}
+				edges = append(edges, [2]int{i, m.Encode(n.canon())})
+			case H: // grant_j
+				all := true
+				for k := 0; k < m.n && all; k++ {
+					if k != j && !g.B[j][k] {
+						all = false
+					}
+				}
+				if all {
+					n := g.clone()
+					n.Phase[j] = E
+					edges = append(edges, [2]int{i, m.Encode(n.canon())})
+				}
+			case E: // release_j
+				n := g.clone()
+				n.Phase[j] = T
+				for k := 0; k < m.n; k++ {
+					if k != j && g.Phase[k] == H {
+						n.B[k][j] = true // deferred reply
+					}
+				}
+				edges = append(edges, [2]int{i, m.Encode(n.canon())})
+			}
+		}
+	}
+	return edges
+}
+
+// WrapperEdges returns W's per-pair refresh transitions.
+func (m *Model) WrapperEdges() [][2]int {
+	var edges [][2]int
+	for i := 0; i < m.nStates; i++ {
+		g := m.Decode(i)
+		for j := 0; j < m.n; j++ {
+			if g.Phase[j] != H {
+				continue
+			}
+			for k := 0; k < m.n; k++ {
+				if k == j || g.B[j][k] {
+					continue
+				}
+				if g.Phase[k] == T || pos(g.Perm, j) < pos(g.Perm, k) {
+					n := g.clone()
+					n.B[j][k] = true
+					edges = append(edges, [2]int{i, m.Encode(n.canon())})
+				}
+			}
+		}
+	}
+	return edges
+}
+
+// InitIndex returns the encoded Init state: all thinking, identity
+// permutation, no beliefs — the canonical all-thinking state.
+func (m *Model) InitIndex() int {
+	g := GState{
+		Phase: make([]int, m.n),
+		Perm:  identity(m.n),
+		B:     make([][]bool, m.n),
+	}
+	for j := range g.B {
+		g.B[j] = make([]bool, m.n)
+	}
+	return m.Encode(g)
+}
+
+func identity(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+// DeadlockIndex returns the all-hungry, all-beliefs-false state with the
+// identity permutation: the N-process §4 deadlock (every process waits for
+// replies that will never come).
+func (m *Model) DeadlockIndex() int {
+	g := GState{
+		Phase: make([]int, m.n),
+		Perm:  identity(m.n),
+		B:     make([][]bool, m.n),
+	}
+	for j := range g.Phase {
+		g.Phase[j] = H
+	}
+	for j := range g.B {
+		g.B[j] = make([]bool, m.n)
+	}
+	return m.Encode(g)
+}
+
+// Spec builds the specification system A: correct-protocol transitions,
+// total via stutters, Init as above.
+func (m *Model) Spec() *graybox.System {
+	return m.assemble(fmt.Sprintf("TME-abs-%d", m.n), m.SpecEdges())
+}
+
+// Wrapped builds A ▯ W: specification plus wrapper transitions (stutters
+// only where neither has a rule).
+func (m *Model) Wrapped() *graybox.System {
+	return m.assemble(fmt.Sprintf("TME-abs-%d [] W", m.n), m.SpecEdges(), m.WrapperEdges())
+}
+
+func (m *Model) assemble(name string, edgeSets ...[][2]int) *graybox.System {
+	b := graybox.NewBuilder(name, m.nStates)
+	for _, edges := range edgeSets {
+		for _, e := range edges {
+			b.AddTransition(e[0], e[1])
+		}
+	}
+	b.SetInit(m.InitIndex())
+	return b.Totalize().MustBuild()
+}

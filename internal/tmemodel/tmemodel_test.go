@@ -1,0 +1,256 @@
+package tmemodel
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/graybox-stabilization/graybox/internal/graybox"
+)
+
+func mustModel(t *testing.T, n int) *Model {
+	t.Helper()
+	m, err := NewModel(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestNewModelBounds(t *testing.T) {
+	for _, n := range []int{1, 4} {
+		if _, err := NewModel(n); err == nil {
+			t.Errorf("NewModel(%d) accepted", n)
+		}
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	for _, n := range []int{2, 3} {
+		m := mustModel(t, n)
+		for i := 0; i < m.NumStates(); i++ {
+			if got := m.Encode(m.Decode(i)); got != i {
+				t.Fatalf("n=%d: round trip %d → %v → %d", n, i, m.Decode(i), got)
+			}
+		}
+	}
+}
+
+func TestStateString(t *testing.T) {
+	m := mustModel(t, 2)
+	s := m.Decode(m.DeadlockIndex()).String()
+	if !strings.Contains(s, "hh") {
+		t.Errorf("String = %q", s)
+	}
+}
+
+func TestCanonicalization(t *testing.T) {
+	// A thinking process with residual beliefs and a scrambled position.
+	g := GState{
+		Phase: []int{T, H, H},
+		Perm:  []int{2, 0, 1}, // thinking 0 sits between actives
+		B: [][]bool{
+			{false, true, true}, // residual beliefs of a thinker
+			{false, false, false},
+			{true, true, false},
+		},
+	}
+	c := g.canon()
+	// Actives 2,1 keep their order; thinker 0 goes to the tail.
+	want := []int{2, 1, 0}
+	for i := range want {
+		if c.Perm[i] != want[i] {
+			t.Fatalf("canon perm = %v, want %v", c.Perm, want)
+		}
+	}
+	for k, b := range c.B[0] {
+		if b {
+			t.Fatalf("thinker's belief B[0][%d] not cleared", k)
+		}
+	}
+	// Active beliefs untouched.
+	if !c.B[2][0] || !c.B[2][1] {
+		t.Error("active beliefs were modified")
+	}
+	// Original state unmodified (canon is pure).
+	if !g.B[0][1] {
+		t.Error("canon mutated its input")
+	}
+}
+
+func TestMoveToEndAndPos(t *testing.T) {
+	perm := []int{2, 0, 1}
+	if pos(perm, 0) != 1 || pos(perm, 9) != -1 {
+		t.Error("pos wrong")
+	}
+	got := moveToEnd(perm, 2)
+	want := []int{0, 1, 2}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("moveToEnd = %v, want %v", got, want)
+		}
+	}
+}
+
+// The central machine-checked narrative at both sizes:
+//
+//  1. the abstract spec A is NOT self-stabilizing — the checker finds a
+//     stuck illegitimate state unaided;
+//  2. the §4 deadlock is that kind of state: illegitimate and stuck;
+//  3. A ▯ W IS stabilizing to A — Lemma 7 / Theorem 8 on the abstraction
+//     (exhaustive over 72 states at N=2, 10368 at N=3);
+//  4. interference freedom: A ▯ W and A have identical transitions inside
+//     the legitimate set (Lemma 6's operational content).
+func TestWrapperStabilizesAbstractTME(t *testing.T) {
+	for _, n := range []int{2, 3} {
+		m := mustModel(t, n)
+		a := m.Spec()
+		aw := m.Wrapped()
+
+		okA, lasso := graybox.SelfStabilizing(a)
+		if okA {
+			t.Fatalf("n=%d: abstract spec is self-stabilizing — the deadlock vanished", n)
+		}
+		t.Logf("n=%d unwrapped lasso: %v at state %v", n, lasso, m.Decode(lasso.BadEdge[0]))
+
+		legit := a.Legitimate()
+		dl := m.DeadlockIndex()
+		if legit[dl] {
+			t.Fatalf("n=%d: the §4 deadlock is legitimately reachable", n)
+		}
+		if succs := a.Successors(dl); len(succs) != 1 || succs[0] != dl {
+			t.Fatalf("n=%d: deadlock successors in A = %v, want only the stutter", n, succs)
+		}
+
+		if ok, l := graybox.StabilizingTo(aw, a); !ok {
+			t.Fatalf("n=%d: A ▯ W not stabilizing to A: %v (state %v)",
+				n, l, m.Decode(l.BadEdge[0]))
+		}
+
+		for u := 0; u < m.NumStates(); u++ {
+			if !legit[u] {
+				continue
+			}
+			au, wu := a.Successors(u), aw.Successors(u)
+			if len(au) != len(wu) {
+				t.Fatalf("n=%d: wrapper disturbed legitimate state %v", n, m.Decode(u))
+			}
+			for i := range au {
+				if au[i] != wu[i] {
+					t.Fatalf("n=%d: wrapper disturbed legitimate state %v", n, m.Decode(u))
+				}
+			}
+		}
+	}
+}
+
+// Safety and progress inside the legitimate set: at most one process eats,
+// hungry beliefs never all-true for two processes at once, and no
+// legitimate state is stuck.
+func TestLegitimateSetProperties(t *testing.T) {
+	for _, n := range []int{2, 3} {
+		m := mustModel(t, n)
+		a := m.Spec()
+		legit := a.Legitimate()
+		count := 0
+		for u := 0; u < m.NumStates(); u++ {
+			if !legit[u] {
+				continue
+			}
+			count++
+			g := m.Decode(u)
+			eating := 0
+			for _, p := range g.Phase {
+				if p == E {
+					eating++
+				}
+			}
+			if eating > 1 {
+				t.Fatalf("n=%d: ME1 violated in legitimate state %v", n, g)
+			}
+			real := false
+			for _, v := range a.Successors(u) {
+				if v != u {
+					real = true
+				}
+			}
+			if !real {
+				t.Fatalf("n=%d: legitimate state %v is stuck", n, g)
+			}
+		}
+		if count == 0 || count == m.NumStates() {
+			t.Fatalf("n=%d: legitimate set size %d is degenerate", n, count)
+		}
+		t.Logf("n=%d: %d legitimate states of %d", n, count, m.NumStates())
+	}
+}
+
+// Starvation freedom inside the legitimate set: no legitimate cycle keeps
+// a process hungry throughout.
+func TestNoHungryCycleInLegitimateSet(t *testing.T) {
+	for _, n := range []int{2, 3} {
+		m := mustModel(t, n)
+		a := m.Spec()
+		legit := a.Legitimate()
+		for j := 0; j < n; j++ {
+			adj := make([][]int, m.NumStates())
+			for u := 0; u < m.NumStates(); u++ {
+				if !legit[u] || m.Decode(u).Phase[j] != H {
+					continue
+				}
+				for _, v := range a.Successors(u) {
+					if legit[v] && m.Decode(v).Phase[j] == H {
+						adj[u] = append(adj[u], v)
+					}
+				}
+			}
+			color := make([]int, m.NumStates())
+			var dfs func(u int) bool
+			dfs = func(u int) bool {
+				color[u] = 1
+				for _, v := range adj[u] {
+					if color[v] == 1 {
+						return true
+					}
+					if color[v] == 0 && dfs(v) {
+						return true
+					}
+				}
+				color[u] = 2
+				return false
+			}
+			for u := 0; u < m.NumStates(); u++ {
+				if color[u] == 0 && len(adj[u]) > 0 && dfs(u) {
+					t.Fatalf("n=%d: process %d can stay hungry around a legitimate cycle", n, j)
+				}
+			}
+		}
+	}
+}
+
+// The wrapper's guard matches internal/wrapper's semantics: it fires
+// exactly on hungry processes with a false belief, and only when firing
+// can help (partner thinking, or own request earlier in the order).
+func TestWrapperEdgesGuard(t *testing.T) {
+	m := mustModel(t, 3)
+	for _, e := range m.WrapperEdges() {
+		s := m.Decode(e[0])
+		nxt := m.Decode(e[1])
+		fired, target := -1, -1
+		for j := 0; j < 3; j++ {
+			for k := 0; k < 3; k++ {
+				if j != k && s.B[j][k] != nxt.B[j][k] && nxt.B[j][k] {
+					fired, target = j, k
+				}
+			}
+		}
+		if fired == -1 {
+			t.Fatalf("wrapper edge %v→%v sets no belief", s, nxt)
+		}
+		if s.Phase[fired] != H || s.B[fired][target] {
+			t.Fatalf("wrapper fired outside its guard at %v", s)
+		}
+		if s.Phase[target] != T && pos(s.Perm, fired) >= pos(s.Perm, target) {
+			t.Fatalf("wrapper fired where the refresh cannot help: %v", s)
+		}
+	}
+}

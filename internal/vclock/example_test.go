@@ -1,0 +1,29 @@
+package vclock_test
+
+import (
+	"fmt"
+
+	"github.com/graybox-stabilization/graybox/internal/vclock"
+)
+
+// ExampleResettable shows the bounded-space protocol: when a component
+// nears the bound, the coordinator opens a new epoch, and other processes
+// adopt it through normal message traffic.
+func ExampleResettable() {
+	alice := vclock.NewResettable(0, 2, 4)
+	bob := vclock.NewResettable(1, 2, 4)
+	var coord vclock.Coordinator
+
+	for i := 0; i < 3; i++ {
+		stamp := alice.Tick()
+		bob.Observe(stamp)
+		coord.Step(alice)
+	}
+	fmt.Println("alice epoch:", alice.Epoch(), "resets:", coord.Resets)
+	// Bob adopts the new epoch from alice's next message.
+	bob.Observe(alice.Tick())
+	fmt.Println("bob epoch:  ", bob.Epoch())
+	// Output:
+	// alice epoch: 1 resets: 1
+	// bob epoch:   1
+}

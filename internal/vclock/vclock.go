@@ -1,0 +1,232 @@
+// Package vclock implements vector clocks and a resettable, bounded-space
+// variant modelled on "Resettable Vector Clocks" (Arora, Kulkarni, Demirbas
+// — PODC 2000), the case study the paper cites ([1], [4]) as its own
+// earlier exercise in graybox fault-tolerance design.
+//
+// Plain vector clocks characterize causality exactly — e happened-before f
+// iff V(e) < V(f) — but their components grow without bound. The resettable
+// variant runs in bounded space: clocks live inside an *epoch*; when any
+// component approaches the bound, a distinguished coordinator opens a fresh
+// epoch in which vectors restart from zero. Epoch adoption is monotone (a
+// process joins the highest epoch it hears of and discards stamps from
+// older ones), so the scheme tolerates lost or duplicated reset
+// announcements and arbitrarily corrupted epoch counters the same way the
+// TME wrapper tolerates corrupted REQ copies: stale information is
+// out-ordered rather than repaired in place. Causality comparisons are
+// exact within an epoch and conservative across epochs (a later epoch is
+// treated as causally later — correct whenever epochs are opened by a
+// message-propagated announcement).
+package vclock
+
+import (
+	"fmt"
+	"strings"
+)
+
+// V is a plain vector clock over a fixed number of processes.
+type V []uint32
+
+// NewV returns the zero vector for n processes.
+func NewV(n int) V { return make(V, n) }
+
+// Copy returns an independent copy.
+func (v V) Copy() V {
+	out := make(V, len(v))
+	copy(out, v)
+	return out
+}
+
+// Tick increments process i's component, recording a local event.
+func (v V) Tick(i int) { v[i]++ }
+
+// Join takes the componentwise maximum of v and u into v.
+func (v V) Join(u V) {
+	for i := range v {
+		if i < len(u) && u[i] > v[i] {
+			v[i] = u[i]
+		}
+	}
+}
+
+// Leq reports v ≤ u componentwise.
+func (v V) Leq(u V) bool {
+	for i := range v {
+		var ui uint32
+		if i < len(u) {
+			ui = u[i]
+		}
+		if v[i] > ui {
+			return false
+		}
+	}
+	return true
+}
+
+// Less reports v < u: componentwise ≤ and different.
+func (v V) Less(u V) bool {
+	if !v.Leq(u) {
+		return false
+	}
+	for i := range v {
+		var ui uint32
+		if i < len(u) {
+			ui = u[i]
+		}
+		if v[i] != ui {
+			return true
+		}
+	}
+	return len(u) > len(v) && anyNonzero(u[len(v):])
+}
+
+// Concurrent reports that neither v ≤ u nor u ≤ v.
+func (v V) Concurrent(u V) bool { return !v.Leq(u) && !u.Leq(v) }
+
+// Max returns the largest component.
+func (v V) Max() uint32 {
+	var m uint32
+	for _, x := range v {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// String renders the vector as "[a b c]".
+func (v V) String() string {
+	parts := make([]string, len(v))
+	for i, x := range v {
+		parts[i] = fmt.Sprint(x)
+	}
+	return "[" + strings.Join(parts, " ") + "]"
+}
+
+func anyNonzero(xs V) bool {
+	for _, x := range xs {
+		if x != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// Stamp is the timestamp a resettable clock attaches to a message: the
+// epoch it was produced in plus the vector within that epoch.
+type Stamp struct {
+	Epoch uint64
+	Vec   V
+}
+
+// Before reports whether s is causally before t under the conservative
+// cross-epoch order: an earlier epoch is before a later one; within an
+// epoch, strict vector order decides.
+func (s Stamp) Before(t Stamp) bool {
+	if s.Epoch != t.Epoch {
+		return s.Epoch < t.Epoch
+	}
+	return s.Vec.Less(t.Vec)
+}
+
+// Concurrent reports that neither stamp is Before the other.
+func (s Stamp) Concurrent(t Stamp) bool { return !s.Before(t) && !t.Before(s) }
+
+// Resettable is one process's bounded-space resettable vector clock.
+// Construct with NewResettable; drive from a single goroutine.
+type Resettable struct {
+	id, n int
+	bound uint32
+	epoch uint64
+	vec   V
+}
+
+// NewResettable returns process id of n with the given component bound
+// (≥ 2; space is n·log₂(bound) bits plus the epoch).
+func NewResettable(id, n int, bound uint32) *Resettable {
+	if bound < 2 {
+		bound = 2
+	}
+	return &Resettable{id: id, n: n, bound: bound, vec: NewV(n)}
+}
+
+// ID returns the owning process id.
+func (r *Resettable) ID() int { return r.id }
+
+// Epoch returns the current epoch.
+func (r *Resettable) Epoch() uint64 { return r.epoch }
+
+// Vec returns a copy of the current vector.
+func (r *Resettable) Vec() V { return r.vec.Copy() }
+
+// NeedsReset reports whether any component is within one tick of the
+// bound — the spec-level condition the reset coordinator watches.
+func (r *Resettable) NeedsReset() bool { return r.vec.Max()+1 >= r.bound }
+
+// Tick records a local event and returns its stamp.
+func (r *Resettable) Tick() Stamp {
+	r.vec.Tick(r.id)
+	return Stamp{Epoch: r.epoch, Vec: r.vec.Copy()}
+}
+
+// Observe merges a received stamp (and the implied receive event),
+// returning the receive event's stamp. Epoch adoption is monotone:
+//
+//   - stamp from a NEWER epoch: adopt it — epoch := stamp's, vector :=
+//     stamp's vector (this is how reset announcements propagate, and how a
+//     process whose epoch was corrupted low rejoins);
+//   - same epoch: standard vector-clock join;
+//   - OLDER epoch: the stamp is stale; it is discarded, only the local
+//     event is recorded.
+func (r *Resettable) Observe(s Stamp) Stamp {
+	switch {
+	case s.Epoch > r.epoch:
+		r.epoch = s.Epoch
+		r.vec = NewV(r.n)
+		r.vec.Join(s.Vec)
+	case s.Epoch == r.epoch:
+		r.vec.Join(s.Vec)
+	}
+	return r.Tick()
+}
+
+// Reset opens a fresh epoch locally: epoch := max(epoch+1, to) and the
+// vector restarts from zero. The coordinator calls it, then announces the
+// new epoch by stamping its next messages (Observe propagates it).
+func (r *Resettable) Reset(to uint64) {
+	if to <= r.epoch {
+		to = r.epoch + 1
+	}
+	r.epoch = to
+	r.vec = NewV(r.n)
+}
+
+// Corrupt arbitrarily overwrites epoch and vector (transient state
+// corruption, for fault-injection tests).
+func (r *Resettable) Corrupt(epoch uint64, vec V) {
+	r.epoch = epoch
+	r.vec = NewV(r.n)
+	r.vec.Join(vec)
+}
+
+// Coordinator is the graybox reset wrapper: it watches one distinguished
+// process's spec-level state (NeedsReset, Epoch) and decides when to open a
+// new epoch. Like the TME wrapper it is implementation-blind — any
+// Resettable-compatible clock gets the same treatment.
+type Coordinator struct {
+	// Resets counts epochs opened by this coordinator.
+	Resets int
+}
+
+// Step inspects the coordinated clock and opens a new epoch when any
+// component nears the bound. It returns true when a reset was performed;
+// the caller is responsible for letting the new epoch reach other
+// processes (normal message traffic suffices, since Observe adopts newer
+// epochs).
+func (c *Coordinator) Step(r *Resettable) bool {
+	if !r.NeedsReset() {
+		return false
+	}
+	r.Reset(r.Epoch() + 1)
+	c.Resets++
+	return true
+}

@@ -1,0 +1,310 @@
+package vclock
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestVBasics(t *testing.T) {
+	v := NewV(3)
+	v.Tick(1)
+	v.Tick(1)
+	v.Tick(2)
+	if v.String() != "[0 2 1]" {
+		t.Errorf("String = %q", v.String())
+	}
+	u := v.Copy()
+	u.Tick(0)
+	if v[0] != 0 {
+		t.Error("Copy aliases storage")
+	}
+	if !v.Leq(u) || !v.Less(u) || u.Leq(v) {
+		t.Error("order wrong after tick")
+	}
+	if v.Concurrent(u) {
+		t.Error("ordered vectors reported concurrent")
+	}
+	if v.Max() != 2 {
+		t.Errorf("Max = %d", v.Max())
+	}
+}
+
+func TestVJoin(t *testing.T) {
+	a := V{1, 5, 0}
+	b := V{3, 2, 4}
+	a.Join(b)
+	want := V{3, 5, 4}
+	for i := range want {
+		if a[i] != want[i] {
+			t.Fatalf("Join = %v, want %v", a, want)
+		}
+	}
+}
+
+func TestVConcurrent(t *testing.T) {
+	a := V{1, 0}
+	b := V{0, 1}
+	if !a.Concurrent(b) {
+		t.Error("independent ticks not concurrent")
+	}
+	if a.Less(a) {
+		t.Error("Less not irreflexive")
+	}
+}
+
+func TestVDifferentLengths(t *testing.T) {
+	short := V{1}
+	long := V{1, 2}
+	if !short.Leq(long) || !short.Less(long) {
+		t.Error("short vs long order wrong")
+	}
+	if long.Leq(short) {
+		t.Error("long ≤ short with nonzero tail")
+	}
+	zeroTail := V{1, 0}
+	if !zeroTail.Leq(short) == false && zeroTail.Less(short) {
+		t.Error("zero tail handled wrong")
+	}
+}
+
+// The fundamental vector-clock theorem, property-tested: over a random
+// message-passing history, e happened-before f iff V(e) < V(f).
+func TestCausalityCharacterization(t *testing.T) {
+	const (
+		nProcs  = 4
+		nEvents = 120
+	)
+	for trial := 0; trial < 30; trial++ {
+		rng := rand.New(rand.NewSource(int64(trial)))
+		clocks := make([]V, nProcs)
+		for i := range clocks {
+			clocks[i] = NewV(nProcs)
+		}
+		type event struct {
+			vec    V
+			proc   int
+			causes []int
+		}
+		var events []event
+		lastAt := make([]int, nProcs)
+		for i := range lastAt {
+			lastAt[i] = -1
+		}
+		var inflight []int
+		for e := 0; e < nEvents; e++ {
+			p := rng.Intn(nProcs)
+			var ev event
+			ev.proc = p
+			if lastAt[p] >= 0 {
+				ev.causes = append(ev.causes, lastAt[p])
+			}
+			if len(inflight) > 0 && rng.Intn(2) == 0 {
+				k := rng.Intn(len(inflight))
+				sendIdx := inflight[k]
+				inflight = append(inflight[:k], inflight[k+1:]...)
+				ev.causes = append(ev.causes, sendIdx)
+				clocks[p].Join(events[sendIdx].vec)
+			}
+			clocks[p].Tick(p)
+			ev.vec = clocks[p].Copy()
+			if rng.Intn(2) == 0 {
+				inflight = append(inflight, len(events))
+			}
+			lastAt[p] = len(events)
+			events = append(events, ev)
+		}
+		// hb via transitive closure of cause edges.
+		hb := make([][]bool, len(events))
+		for i := range hb {
+			hb[i] = make([]bool, len(events))
+		}
+		for i, ev := range events {
+			for _, c := range ev.causes {
+				hb[c][i] = true
+				for a := range events {
+					if hb[a][c] {
+						hb[a][i] = true
+					}
+				}
+			}
+		}
+		for a := range events {
+			for b := range events {
+				if a == b {
+					continue
+				}
+				got := events[a].vec.Less(events[b].vec)
+				if got != hb[a][b] {
+					t.Fatalf("trial %d: V(e%d)<V(e%d) = %v but hb = %v",
+						trial, a, b, got, hb[a][b])
+				}
+			}
+		}
+	}
+}
+
+func TestStampOrder(t *testing.T) {
+	older := Stamp{Epoch: 1, Vec: V{5, 5}}
+	newer := Stamp{Epoch: 2, Vec: V{0, 1}}
+	if !older.Before(newer) || newer.Before(older) {
+		t.Error("cross-epoch order wrong")
+	}
+	a := Stamp{Epoch: 1, Vec: V{1, 0}}
+	b := Stamp{Epoch: 1, Vec: V{0, 1}}
+	if !a.Concurrent(b) {
+		t.Error("same-epoch concurrent stamps not detected")
+	}
+}
+
+func TestResettableBasics(t *testing.T) {
+	r := NewResettable(0, 2, 10)
+	if r.ID() != 0 || r.Epoch() != 0 {
+		t.Error("header wrong")
+	}
+	s := r.Tick()
+	if s.Epoch != 0 || s.Vec[0] != 1 {
+		t.Errorf("tick stamp = %+v", s)
+	}
+	if r.NeedsReset() {
+		t.Error("fresh clock needs reset")
+	}
+}
+
+func TestResettableBoundClamped(t *testing.T) {
+	r := NewResettable(0, 1, 0)
+	if r.bound != 2 {
+		t.Errorf("bound = %d", r.bound)
+	}
+}
+
+func TestObserveEpochAdoption(t *testing.T) {
+	r := NewResettable(1, 2, 100)
+	r.Tick()
+	r.Tick()
+	// Newer epoch: adopt, vector restarts from the stamp.
+	out := r.Observe(Stamp{Epoch: 5, Vec: V{3, 0}})
+	if r.Epoch() != 5 {
+		t.Fatalf("epoch = %d, want 5", r.Epoch())
+	}
+	if out.Vec[0] != 3 || out.Vec[1] != 1 {
+		t.Errorf("adopted vector = %v, want [3 1]", out.Vec)
+	}
+	// Older epoch: stale, discarded (only the local tick registers).
+	before := r.Vec()
+	r.Observe(Stamp{Epoch: 2, Vec: V{99, 99}})
+	after := r.Vec()
+	if after[0] != before[0] || after[1] != before[1]+1 {
+		t.Errorf("stale stamp leaked: %v -> %v", before, after)
+	}
+}
+
+func TestResetMonotone(t *testing.T) {
+	r := NewResettable(0, 2, 10)
+	r.Reset(7)
+	if r.Epoch() != 7 {
+		t.Errorf("epoch = %d", r.Epoch())
+	}
+	// Reset to a lower target still moves forward.
+	r.Reset(3)
+	if r.Epoch() != 8 {
+		t.Errorf("epoch after low reset = %d, want 8", r.Epoch())
+	}
+	if r.Vec().Max() != 0 {
+		t.Error("vector not zeroed by reset")
+	}
+}
+
+func TestCoordinatorResetsNearBound(t *testing.T) {
+	r := NewResettable(0, 2, 5)
+	var c Coordinator
+	for i := 0; i < 3; i++ {
+		r.Tick()
+		if c.Step(r) {
+			t.Fatalf("reset fired early at tick %d (vec %v)", i+1, r.Vec())
+		}
+	}
+	r.Tick() // component now 4 = bound-1
+	if !c.Step(r) {
+		t.Fatal("reset did not fire at the bound")
+	}
+	if c.Resets != 1 || r.Epoch() != 1 || r.Vec().Max() != 0 {
+		t.Errorf("after reset: resets=%d epoch=%d vec=%v", c.Resets, r.Epoch(), r.Vec())
+	}
+}
+
+// Bounded-space property: under any workload, with the coordinator driving
+// process 0 and epochs propagating through normal traffic, no component
+// ever exceeds the bound.
+func TestBoundedSpaceProperty(t *testing.T) {
+	f := func(seed int64, tape []byte) bool {
+		const n, bound = 3, 8
+		rng := rand.New(rand.NewSource(seed))
+		clocks := make([]*Resettable, n)
+		for i := range clocks {
+			clocks[i] = NewResettable(i, n, bound)
+		}
+		var coord Coordinator
+		var inflight []Stamp
+		for _, b := range tape {
+			p := int(b) % n
+			switch (b / 3) % 2 {
+			case 0:
+				inflight = append(inflight, clocks[p].Tick())
+			case 1:
+				if len(inflight) > 0 {
+					k := rng.Intn(len(inflight))
+					s := inflight[k]
+					inflight = append(inflight[:k], inflight[k+1:]...)
+					clocks[p].Observe(s)
+				}
+			}
+			coord.Step(clocks[0])
+			// Other processes reset locally too when THEY hit the bound
+			// before hearing of a new epoch (the local half of the RVC
+			// protocol); epoch monotonicity keeps them consistent.
+			for _, c := range clocks[1:] {
+				if c.NeedsReset() {
+					c.Reset(c.Epoch() + 1)
+				}
+			}
+			for _, c := range clocks {
+				if c.Vec().Max() >= bound {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Stabilization story: corrupt a clock's epoch absurdly high — the others
+// adopt it through traffic and the system keeps one consistent epoch (stale
+// states are out-ordered, not repaired, exactly the graybox recipe).
+func TestEpochCorruptionConverges(t *testing.T) {
+	const n = 3
+	clocks := make([]*Resettable, n)
+	for i := range clocks {
+		clocks[i] = NewResettable(i, n, 1000)
+	}
+	clocks[1].Corrupt(999, V{5, 5, 5})
+	// A round of all-pairs traffic.
+	for round := 0; round < 2; round++ {
+		for i := 0; i < n; i++ {
+			s := clocks[i].Tick()
+			for j := 0; j < n; j++ {
+				if j != i {
+					clocks[j].Observe(s)
+				}
+			}
+		}
+	}
+	for i, c := range clocks {
+		if c.Epoch() != 999 {
+			t.Errorf("process %d epoch = %d, want 999 (adopted)", i, c.Epoch())
+		}
+	}
+}

@@ -1,0 +1,39 @@
+package wrapper_test
+
+import (
+	"fmt"
+
+	"github.com/graybox-stabilization/graybox/internal/ra"
+	"github.com/graybox-stabilization/graybox/internal/wrapper"
+)
+
+// ExampleW shows the wrapper evaluating its guard over a SpecView: a hungry
+// process with stale local copies resends its request exactly to the
+// processes it may be mutually inconsistent with.
+func ExampleW() {
+	node := ra.New(0, 3) // any Lspec implementation works identically
+	node.RequestCS()     // hungry; local copies of 1 and 2 are still zero
+
+	for _, m := range wrapper.W(node) {
+		fmt.Println(m)
+	}
+	// Output:
+	// request(1.0) 0->1
+	// request(1.0) 0->2
+}
+
+// ExampleTimed shows W': the same guard behind a timeout, the paper's
+// tunable implementation.
+func ExampleTimed() {
+	node := ra.New(0, 2)
+	node.RequestCS()
+
+	w := wrapper.NewTimed(10)
+	fmt.Println("t=0:", len(w.Fire(0, node)), "message(s)")
+	fmt.Println("t=5:", len(w.Fire(5, node)), "message(s) — timer closed")
+	fmt.Println("t=10:", len(w.Fire(10, node)), "message(s)")
+	// Output:
+	// t=0: 1 message(s)
+	// t=5: 0 message(s) — timer closed
+	// t=10: 1 message(s)
+}
