@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race cover bench experiments examples fuzz clean
+.PHONY: all build test race test-race cover bench bench-baseline experiments examples fuzz clean
 
 all: build test
 
@@ -17,11 +17,20 @@ test:
 race:
 	$(GO) test -race ./...
 
+# Focused race pass over the concurrent packages (the goroutine runtime and
+# the observability instruments it publishes to).
+test-race:
+	$(GO) test -race ./internal/runtime/... ./internal/obs/...
+
 cover:
 	$(GO) test -cover ./...
 
 bench:
 	$(GO) test -bench=. -benchmem .
+
+# Regenerate the committed benchmark baseline (BENCH_BASELINE.json).
+bench-baseline:
+	$(GO) run ./cmd/bench -out BENCH_BASELINE.json
 
 # Regenerate every experiment table of EXPERIMENTS.md (full scale ≈ 30 min).
 experiments:

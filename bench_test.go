@@ -15,6 +15,7 @@ import (
 	"github.com/graybox-stabilization/graybox/internal/harness"
 	"github.com/graybox-stabilization/graybox/internal/lamport"
 	"github.com/graybox-stabilization/graybox/internal/ltime"
+	"github.com/graybox-stabilization/graybox/internal/obs"
 	"github.com/graybox-stabilization/graybox/internal/ra"
 	"github.com/graybox-stabilization/graybox/internal/ring"
 	"github.com/graybox-stabilization/graybox/internal/sim"
@@ -344,6 +345,37 @@ func BenchmarkSimThroughput(b *testing.B) {
 		events += s.Run(1 << 20)
 	}
 	b.ReportMetric(float64(events)/float64(b.N), "events/run")
+}
+
+// BenchmarkObsOverhead quantifies the observability tax on the raw
+// simulator: "disabled" runs with a nil obs bundle, where every instrument
+// call is a nil-receiver no-op — this is the path covered by the <2%
+// overhead budget — and "enabled" runs with a live registry, convergence
+// tracker, and trace ring.
+func BenchmarkObsOverhead(b *testing.B) {
+	workload := func(b *testing.B, mk func() *obs.Obs) {
+		var events int64
+		for i := 0; i < b.N; i++ {
+			s := sim.New(sim.Config{
+				N: 8, Seed: int64(i),
+				NewNode:     func(id, n int) tme.Node { return ra.New(id, n) },
+				Workload:    true,
+				MaxRequests: 20,
+				Obs:         mk(),
+			})
+			events += s.Run(1 << 20)
+		}
+		b.ReportMetric(float64(events)/float64(b.N), "events/run")
+	}
+	b.Run("disabled", func(b *testing.B) {
+		workload(b, func() *obs.Obs { return nil })
+	})
+	b.Run("enabled", func(b *testing.B) {
+		workload(b, func() *obs.Obs { return obs.New(obs.Options{}) })
+	})
+	b.Run("enabled-trace", func(b *testing.B) {
+		workload(b, func() *obs.Obs { return obs.New(obs.Options{TraceCapacity: 4096}) })
+	})
 }
 
 // BenchmarkNodeDeliver measures one RA request delivery round-trip.

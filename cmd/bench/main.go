@@ -1,0 +1,145 @@
+// Command bench re-runs the repository's headline benchmarks — E2
+// stabilization, E4 deadlock recovery, and the E5 timeout sweep — outside
+// `go test`, and writes the measurements as a JSON metrics snapshot via the
+// obs exporter. The committed BENCH_BASELINE.json is its output; regenerate
+// with `make bench-baseline` after performance-relevant changes.
+//
+// Usage:
+//
+//	bench [-out BENCH_BASELINE.json]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"testing"
+
+	"github.com/graybox-stabilization/graybox/internal/harness"
+	"github.com/graybox-stabilization/graybox/internal/obs"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out, errOut io.Writer) error {
+	fs := flag.NewFlagSet("bench", flag.ContinueOnError)
+	outPath := fs.String("out", "BENCH_BASELINE.json", `output file ("-" = stdout)`)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	// With -out - the snapshot itself goes to stdout, so the per-benchmark
+	// result lines move to stderr to keep stdout valid JSON.
+	status := out
+	if *outPath == "-" {
+		status = errOut
+	}
+
+	reg := obs.NewRegistry()
+	record := func(name string, fn func(b *testing.B)) {
+		res := testing.Benchmark(fn)
+		fmt.Fprintf(status, "%-32s %s\n", name, res.String()+res.MemString())
+		reg.Gauge(name+"_ns_op", "nanoseconds per run").Set(res.NsPerOp())
+		reg.Gauge(name+"_allocs_op", "allocations per run").Set(res.AllocsPerOp())
+		reg.Gauge(name+"_bytes_op", "bytes allocated per run").Set(res.AllocedBytesPerOp())
+		reg.Gauge(name+"_iterations", "benchmark iterations").Set(int64(res.N))
+		for metric, v := range res.Extra {
+			reg.Gauge(name+"_"+sanitize(metric), "custom benchmark metric").Set(int64(v + 0.5))
+		}
+	}
+
+	// E2: stabilization of RA ▯ W' under mixed fault bursts.
+	record("bench_stabilize_ra", func(b *testing.B) {
+		var convSum int64
+		for i := 0; i < b.N; i++ {
+			r := harness.Run(harness.RunConfig{
+				Algo: harness.RA, N: 4,
+				Seed: int64(i), FaultSeed: int64(i) + 1000,
+				Delta:      5,
+				FaultTimes: []int64{200, 300}, FaultsPerBurst: 10,
+				MaxRequests: 30,
+				Horizon:     20000,
+				Monitor:     true,
+			})
+			if !r.Converged {
+				b.Fatalf("seed %d did not converge", i)
+			}
+			convSum += r.ConvergenceTime
+		}
+		b.ReportMetric(float64(convSum)/float64(b.N), "conv-ticks/run")
+	})
+
+	// E4: breaking the §4 deadlock with W'.
+	record("bench_deadlock_recovery", func(b *testing.B) {
+		var latSum int64
+		for i := 0; i < b.N; i++ {
+			r := harness.Run(harness.RunConfig{
+				Algo: harness.RA, N: 4,
+				Seed:          int64(i),
+				Delta:         5,
+				DeadlockFault: true,
+				Horizon:       20000,
+			})
+			if r.FirstEntryAfterFault < 0 {
+				b.Fatalf("seed %d: wrapper failed to break the deadlock", i)
+			}
+			latSum += r.FirstEntryAfterFault - r.LastFault
+		}
+		b.ReportMetric(float64(latSum)/float64(b.N), "recovery-ticks/run")
+	})
+
+	// E5: recovery latency per wrapper timeout δ.
+	for _, delta := range []int64{0, 5, 20, 100} {
+		delta := delta
+		record(fmt.Sprintf("bench_timeout_sweep_delta_%d", delta), func(b *testing.B) {
+			var latSum int64
+			for i := 0; i < b.N; i++ {
+				r := harness.Run(harness.RunConfig{
+					Algo: harness.RA, N: 4, Seed: int64(i),
+					Delta:         delta,
+					DeadlockFault: true,
+					Horizon:       20000,
+				})
+				latSum += r.FirstEntryAfterFault - r.LastFault
+			}
+			b.ReportMetric(float64(latSum)/float64(b.N), "recovery-ticks/run")
+		})
+	}
+
+	w := out
+	if *outPath != "-" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+		fmt.Fprintf(status, "wrote %s\n", *outPath)
+	}
+	return reg.WriteJSON(w)
+}
+
+// sanitize maps a custom metric name ("conv-ticks/run") to a metric-safe
+// suffix ("conv_ticks_per_run").
+func sanitize(s string) string {
+	s = strings.ReplaceAll(s, "/", "_per_")
+	var b strings.Builder
+	for _, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= '0' && r <= '9', r == '_':
+			b.WriteRune(r)
+		case r >= 'A' && r <= 'Z':
+			b.WriteRune(r + ('a' - 'A'))
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}

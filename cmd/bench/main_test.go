@@ -1,0 +1,23 @@
+package main
+
+import "testing"
+
+func TestSanitize(t *testing.T) {
+	cases := map[string]string{
+		"conv-ticks/run":     "conv_ticks_per_run",
+		"recovery-ticks/run": "recovery_ticks_per_run",
+		"MB/s":               "mb_per_s",
+		"plain":              "plain",
+	}
+	for in, want := range cases {
+		if got := sanitize(in); got != want {
+			t.Errorf("sanitize(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestBadFlag(t *testing.T) {
+	if err := run([]string{"-no-such-flag"}, nil, nil); err == nil {
+		t.Error("bad flag accepted")
+	}
+}

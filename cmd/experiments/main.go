@@ -4,10 +4,15 @@
 //
 // Usage:
 //
-//	experiments [-scale quick|full] [-markdown] [-only E4]
+//	experiments [-scale quick|full] [-markdown] [-only E4] [-json results.json]
+//
+// -json additionally writes a machine-readable document keyed by experiment
+// ID: per experiment, the number of runs and the merged obs metrics
+// snapshot of every run (counters summed, gauges as high-water marks).
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -15,6 +20,7 @@ import (
 	"strings"
 
 	"github.com/graybox-stabilization/graybox/internal/harness"
+	"github.com/graybox-stabilization/graybox/internal/obs"
 )
 
 func main() {
@@ -29,7 +35,8 @@ func run(args []string, out io.Writer) error {
 	scaleName := fs.String("scale", "quick", "sweep scale: quick or full")
 	markdown := fs.Bool("markdown", false, "emit GitHub-flavored markdown tables")
 	csvOut := fs.Bool("csv", false, "emit CSV (one table after another, titles as comments)")
-	only := fs.String("only", "", "run a single experiment (E1..E11)")
+	only := fs.String("only", "", "run a single experiment (E1..E13)")
+	jsonPath := fs.String("json", "", `write per-experiment merged obs snapshots as JSON to this file ("-" = stdout)`)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -44,11 +51,25 @@ func run(args []string, out io.Writer) error {
 		return fmt.Errorf("unknown scale %q (want quick or full)", *scaleName)
 	}
 
-	tables := selectTables(scale, strings.ToUpper(*only))
-	if len(tables) == 0 {
+	ids, builders := selectExperiments(scale, strings.ToUpper(*only))
+	if len(ids) == 0 {
 		return fmt.Errorf("no experiment matches %q", *only)
 	}
-	for _, t := range tables {
+	results := make(map[string]*expResult, len(ids))
+	for _, id := range ids {
+		var agg *expResult
+		if *jsonPath != "" {
+			agg = &expResult{Metrics: obs.NewSnapshot()}
+			harness.SetRunHook(func(_ harness.RunConfig, r harness.RunResult) {
+				agg.Runs++
+				agg.Metrics.Merge(r.Obs)
+			})
+		}
+		t := builders[id]()
+		if *jsonPath != "" {
+			harness.SetRunHook(nil)
+			results[id] = agg
+		}
 		switch {
 		case *csvOut:
 			fmt.Fprintf(out, "# %s\n%s\n", t.Title, t.CSV())
@@ -58,12 +79,38 @@ func run(args []string, out io.Writer) error {
 			fmt.Fprintln(out, t.String())
 		}
 	}
+	if *jsonPath != "" {
+		return writeResults(*jsonPath, out, results)
+	}
 	return nil
 }
 
-// selectTables builds the requested tables lazily so -only doesn't pay for
-// the full sweep.
-func selectTables(scale harness.Scale, only string) []*harness.Table {
+// expResult is one experiment's entry in the -json document.
+type expResult struct {
+	// Runs counts the harness runs behind the experiment's table.
+	Runs int `json:"runs"`
+	// Metrics is the merged obs snapshot of those runs.
+	Metrics *obs.Snapshot `json:"metrics"`
+}
+
+// writeResults marshals the per-experiment results (map keys sort, so the
+// document is deterministic for a given scale).
+func writeResults(path string, out io.Writer, results map[string]*expResult) error {
+	b, err := json.MarshalIndent(results, "", "  ")
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	if path == "-" {
+		_, err = out.Write(b)
+		return err
+	}
+	return os.WriteFile(path, b, 0o644)
+}
+
+// selectExperiments returns the requested experiment IDs in order plus
+// their lazy table builders, so -only doesn't pay for the full sweep.
+func selectExperiments(scale harness.Scale, only string) ([]string, map[string]func() *harness.Table) {
 	builders := map[string]func() *harness.Table{
 		"E1":  harness.Fig1,
 		"E2":  func() *harness.Table { return harness.Stabilization(harness.RA, scale) },
@@ -80,15 +127,10 @@ func selectTables(scale harness.Scale, only string) []*harness.Table {
 		"E13": func() *harness.Table { return harness.Level1Ablation(scale) },
 	}
 	if only != "" {
-		b, ok := builders[only]
-		if !ok {
-			return nil
+		if _, ok := builders[only]; !ok {
+			return nil, nil
 		}
-		return []*harness.Table{b()}
+		return []string{only}, builders
 	}
-	out := make([]*harness.Table, 0, len(builders))
-	for _, id := range []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13"} {
-		out = append(out, builders[id]())
-	}
-	return out
+	return []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13"}, builders
 }

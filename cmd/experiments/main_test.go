@@ -1,6 +1,9 @@
 package main
 
 import (
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -51,5 +54,37 @@ func TestRunRejectsUnknownExperiment(t *testing.T) {
 	var b strings.Builder
 	if err := run([]string{"-only", "E99"}, &b); err == nil {
 		t.Error("unknown experiment accepted")
+	}
+}
+
+func TestRunE4JSON(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "results.json")
+	var b strings.Builder
+	if err := run([]string{"-only", "E4", "-json", path}, &b); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var results map[string]struct {
+		Runs    int `json:"runs"`
+		Metrics struct {
+			Counters map[string]int64 `json:"counters"`
+			Gauges   map[string]int64 `json:"gauges"`
+		} `json:"metrics"`
+	}
+	if err := json.Unmarshal(data, &results); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, data)
+	}
+	e4, ok := results["E4"]
+	if !ok || e4.Runs == 0 {
+		t.Fatalf("E4 entry missing or empty: %s", data)
+	}
+	if e4.Metrics.Counters["sim_cs_entries_total"] == 0 {
+		t.Errorf("merged snapshot has no CS entries: %s", data)
+	}
+	if e4.Metrics.Counters["conv_faults_total"] == 0 {
+		t.Errorf("merged snapshot recorded no faults: %s", data)
 	}
 }

@@ -5,7 +5,7 @@
 //
 //	ringsim [-impl eager|lazy] [-n 6] [-seed 1] [-delta 25]
 //	        [-fault loss|dup|holders|seq|none] [-fault-at 50]
-//	        [-horizon 2000]
+//	        [-horizon 2000] [-metrics] [-metrics-json file] [-trace 100]
 package main
 
 import (
@@ -14,6 +14,7 @@ import (
 	"io"
 	"os"
 
+	"github.com/graybox-stabilization/graybox/internal/obs"
 	"github.com/graybox-stabilization/graybox/internal/ring"
 )
 
@@ -33,6 +34,9 @@ func run(args []string, out io.Writer) error {
 	faultName := fs.String("fault", "loss", "fault to inject: loss, dup, holders, seq, or none")
 	faultAt := fs.Int64("fault-at", 50, "tick of the fault")
 	horizon := fs.Int64("horizon", 2000, "run length in ticks")
+	metrics := fs.Bool("metrics", false, "print the Prometheus metrics exposition after the run")
+	metricsJSON := fs.String("metrics-json", "", `write the JSON metrics snapshot to this file ("-" = stdout)`)
+	traceN := fs.Int("trace", 0, "retain and print the last N trace events")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -47,8 +51,9 @@ func run(args []string, out io.Writer) error {
 		return fmt.Errorf("unknown implementation %q (want eager or lazy)", *implName)
 	}
 
+	o := obs.New(obs.Options{TraceCapacity: *traceN})
 	s := ring.NewSim(ring.SimConfig{
-		N: *n, Seed: *seed, NewNode: factory, WrapperDelta: *delta,
+		N: *n, Seed: *seed, NewNode: factory, WrapperDelta: *delta, Obs: o,
 	})
 	if *faultAt > *horizon {
 		return fmt.Errorf("fault-at %d beyond horizon %d", *faultAt, *horizon)
@@ -82,5 +87,33 @@ func run(args []string, out io.Writer) error {
 	fmt.Fprintf(out, "regenerations  %d\n", m.Regenerations)
 	fmt.Fprintf(out, "dead ticks     %d\n", m.DeadTicks)
 	fmt.Fprintf(out, "live tokens    %d (holder: %d)\n", s.LiveTokens(), s.Holder())
+
+	if *traceN > 0 {
+		evs := o.Trace.Events()
+		fmt.Fprintf(out, "trace          last %d of %d events (%d dropped)\n",
+			len(evs), o.Trace.Total(), o.Trace.Dropped())
+		for _, e := range evs {
+			fmt.Fprintf(out, "  %s\n", e)
+		}
+	}
+	if *metrics {
+		if err := o.Reg.WritePrometheus(out); err != nil {
+			return err
+		}
+	}
+	if *metricsJSON != "" {
+		w := out
+		if *metricsJSON != "-" {
+			f, err := os.Create(*metricsJSON)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			w = f
+		}
+		if err := o.Reg.WriteJSON(w); err != nil {
+			return err
+		}
+	}
 	return nil
 }

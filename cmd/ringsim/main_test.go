@@ -62,3 +62,21 @@ func TestNoFault(t *testing.T) {
 		t.Errorf("fault-free run regenerated:\n%s", b.String())
 	}
 }
+
+func TestMetricsAndTraceFlags(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-fault", "loss", "-delta", "25", "-metrics", "-trace", "20"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE ring_accepts_total counter",
+		"# TYPE ring_regenerations_total counter",
+		"# TYPE ring_time gauge",
+		"trace          last 20 of",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -7,6 +7,13 @@
 //	tmesim [-algo ra|lamport] [-n 5] [-seed 1] [-delta 5] [-nowrapper]
 //	       [-faults 100,200,300] [-per-burst 10] [-deadlock]
 //	       [-horizon 20000] [-requests 10] [-monitor] [-v]
+//	       [-metrics] [-metrics-json file] [-trace 100] [-http addr]
+//
+// Observability: -metrics prints the Prometheus text exposition after the
+// run; -metrics-json writes the deterministic JSON snapshot ("-" = stdout;
+// byte-identical across runs with the same seeds); -trace N retains and
+// prints the last N trace events; -http serves /metrics, /metrics.json,
+// /trace and /debug/pprof after the run until interrupted.
 package main
 
 import (
@@ -14,10 +21,12 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
 
 	"github.com/graybox-stabilization/graybox/internal/harness"
+	"github.com/graybox-stabilization/graybox/internal/obs"
 )
 
 func main() {
@@ -42,6 +51,10 @@ func run(args []string, out io.Writer) error {
 	horizon := fs.Int64("horizon", 20000, "virtual-time horizon")
 	requests := fs.Int("requests", 10, "max requests per process")
 	monitor := fs.Bool("monitor", false, "run the Lspec/TME_Spec monitors")
+	metrics := fs.Bool("metrics", false, "print the Prometheus metrics exposition after the run")
+	metricsJSON := fs.String("metrics-json", "", `write the JSON metrics snapshot to this file ("-" = stdout)`)
+	traceN := fs.Int("trace", 0, "retain and print the last N trace events")
+	httpAddr := fs.String("http", "", "serve metrics and pprof on this address after the run (until interrupted)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -76,7 +89,8 @@ func run(args []string, out io.Writer) error {
 	if *noWrapper {
 		cfg.Delta = harness.NoWrapper
 	}
-	r := harness.Run(cfg)
+	o := obs.New(obs.Options{TraceCapacity: *traceN})
+	r := harness.RunObserved(cfg, o)
 
 	fmt.Fprintf(out, "algorithm      %v (n=%d, seed=%d)\n", algo, *n, *seed)
 	wname := fmt.Sprintf("W'(δ=%d)", cfg.Delta)
@@ -103,6 +117,45 @@ func run(args []string, out io.Writer) error {
 		fmt.Fprintf(out, "starved        %v\n", r.Starved)
 	}
 	fmt.Fprintf(out, "converged      %v\n", r.Converged)
+
+	if *traceN > 0 {
+		evs := o.Trace.Events()
+		fmt.Fprintf(out, "trace          last %d of %d events (%d dropped)\n",
+			len(evs), o.Trace.Total(), o.Trace.Dropped())
+		for _, e := range evs {
+			fmt.Fprintf(out, "  %s\n", e)
+		}
+	}
+	if *metrics {
+		if err := o.Reg.WritePrometheus(out); err != nil {
+			return err
+		}
+	}
+	if *metricsJSON != "" {
+		w := out
+		if *metricsJSON != "-" {
+			f, err := os.Create(*metricsJSON)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			w = f
+		}
+		if err := o.Reg.WriteJSON(w); err != nil {
+			return err
+		}
+	}
+	if *httpAddr != "" {
+		addr, shutdown, err := o.Serve(*httpAddr)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "serving        http://%s/metrics (interrupt to stop)\n", addr)
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt)
+		<-sig
+		return shutdown()
+	}
 	return nil
 }
 

@@ -1,6 +1,8 @@
 package main
 
 import (
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -65,5 +67,55 @@ func TestParseTimes(t *testing.T) {
 	}
 	if ts, err := parseTimes(""); err != nil || ts != nil {
 		t.Errorf("empty parseTimes = %v, %v", ts, err)
+	}
+}
+
+// Two runs with the same seeds must export byte-identical JSON metric
+// snapshots (acceptance criterion: the telemetry is a pure function of the
+// configuration).
+func TestMetricsJSONDeterministic(t *testing.T) {
+	args := []string{"-n", "4", "-seed", "9", "-fault-seed", "1009",
+		"-faults", "150,250", "-per-burst", "8", "-monitor",
+		"-horizon", "30000", "-requests", "20"}
+	snap := func(path string) string {
+		var b strings.Builder
+		if err := run(append(args, "-metrics-json", path), &b); err != nil {
+			t.Fatal(err)
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(data)
+	}
+	dir := t.TempDir()
+	a := snap(filepath.Join(dir, "a.json"))
+	b := snap(filepath.Join(dir, "b.json"))
+	if a != b {
+		t.Errorf("same-seed snapshots differ:\n%s\nvs\n%s", a, b)
+	}
+	if !strings.Contains(a, `"sim_cs_entries_total"`) {
+		t.Errorf("snapshot missing sim counters:\n%s", a)
+	}
+	if !strings.Contains(a, `"conv_last_fault_time": 250`) {
+		t.Errorf("snapshot missing convergence gauges:\n%s", a)
+	}
+}
+
+func TestMetricsAndTraceFlags(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-deadlock", "-monitor", "-metrics", "-trace", "50"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE sim_cs_entries_total counter",
+		"# TYPE conv_last_fault_time gauge",
+		"wrapper_fires_total",
+		"trace          last 50 of",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
 	}
 }

@@ -15,6 +15,7 @@ import (
 
 	"github.com/graybox-stabilization/graybox/internal/channel"
 	"github.com/graybox-stabilization/graybox/internal/ltime"
+	"github.com/graybox-stabilization/graybox/internal/obs"
 	"github.com/graybox-stabilization/graybox/internal/sim"
 	"github.com/graybox-stabilization/graybox/internal/tme"
 )
@@ -109,6 +110,38 @@ type Injector struct {
 	mix   Mix
 	opts  Options
 	count int
+
+	// obs instruments, bound lazily to the first simulation seen (nil
+	// fields when that simulation runs without observability).
+	bound   bool
+	cFaults *obs.Counter
+	cByKind [6]*obs.Counter // indexed by Kind
+	trace   *obs.Trace
+	conv    *obs.Convergence
+}
+
+// kindLabels are static trace labels, one per fault class.
+var kindLabels = [6]string{"", "loss", "dup", "corrupt", "state", "flush"}
+
+// bind caches the simulation's obs handles on first use.
+func (in *Injector) bind(s *sim.Sim) {
+	if in.bound {
+		return
+	}
+	in.bound = true
+	o := s.Obs()
+	if o == nil {
+		return
+	}
+	r := o.Registry()
+	in.cFaults = r.Counter("fault_injected_total", "faults injected")
+	in.cByKind[MessageLoss] = r.Counter("fault_loss_total", "message-loss faults")
+	in.cByKind[MessageDup] = r.Counter("fault_dup_total", "message-duplication faults")
+	in.cByKind[MessageCorrupt] = r.Counter("fault_corrupt_total", "message-corruption faults")
+	in.cByKind[StateCorrupt] = r.Counter("fault_state_total", "process-state corruptions")
+	in.cByKind[ChannelFlush] = r.Counter("fault_flush_total", "channel flushes")
+	in.trace = o.Tracer()
+	in.conv = o.Convergence()
 }
 
 // NewInjector returns an injector drawing from the given seed and mix.
@@ -136,8 +169,10 @@ func (in *Injector) Schedule(s *sim.Sim, times []int64, countPerBurst int) {
 
 // one applies a single randomly chosen fault.
 func (in *Injector) one(s *sim.Sim) {
+	in.bind(s)
 	in.count++
-	switch in.mix.pick(in.rng) {
+	kind := in.mix.pick(in.rng)
+	switch kind {
 	case MessageLoss:
 		in.loss(s)
 	case MessageDup:
@@ -149,6 +184,12 @@ func (in *Injector) one(s *sim.Sim) {
 	case ChannelFlush:
 		in.flush(s)
 	}
+	in.cFaults.Inc()
+	in.cByKind[kind].Inc()
+	in.conv.RecordFault(s.Now())
+	in.trace.Emit(obs.Event{
+		Time: s.Now(), Kind: obs.EvFault, A: -1, B: -1, Detail: kindLabels[kind],
+	})
 }
 
 // nonEmptyChannel picks a uniformly random non-empty channel, or ok=false
@@ -273,15 +314,30 @@ func (in *Injector) RandomCorruption(id, n int) tme.Corruption {
 // generator when applied while requests are in flight.
 func DropAllInFlight(s *sim.Sim) {
 	s.Net().ClearAll()
+	if o := s.Obs(); o != nil {
+		o.Registry().Counter("fault_flush_total", "channel flushes").Inc()
+		o.Registry().Counter("fault_injected_total", "faults injected").Inc()
+		o.Convergence().RecordFault(s.Now())
+		o.Tracer().Emit(obs.Event{
+			Time: s.Now(), Kind: obs.EvFault, A: -1, B: -1, Detail: "drop-all-in-flight",
+		})
+	}
 }
 
 // ImproperInit corrupts every process before the run starts, modelling
 // arbitrary (improper) initialization. Call it before s.Run.
 func ImproperInit(s *sim.Sim, seed int64, opts Options) {
 	in := NewInjector(seed, Mix{State: 1}, opts)
+	in.bind(s)
 	for i := 0; i < s.N(); i++ {
 		if node, ok := s.Node(i).(tme.Corruptible); ok {
 			node.Corrupt(in.RandomCorruption(i, s.N()))
+			in.cFaults.Inc()
+			in.cByKind[StateCorrupt].Inc()
+			in.conv.RecordFault(s.Now())
+			in.trace.Emit(obs.Event{
+				Time: s.Now(), Kind: obs.EvFault, A: i, B: -1, Detail: "improper-init",
+			})
 		}
 	}
 }

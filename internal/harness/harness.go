@@ -15,6 +15,7 @@ import (
 	"github.com/graybox-stabilization/graybox/internal/fault"
 	"github.com/graybox-stabilization/graybox/internal/lamport"
 	"github.com/graybox-stabilization/graybox/internal/lspec"
+	"github.com/graybox-stabilization/graybox/internal/obs"
 	"github.com/graybox-stabilization/graybox/internal/ra"
 	"github.com/graybox-stabilization/graybox/internal/sim"
 	"github.com/graybox-stabilization/graybox/internal/tme"
@@ -141,6 +142,9 @@ type RunResult struct {
 	// ViolationSummary breaks violations down by operator (monitored
 	// runs only).
 	ViolationSummary map[string]lspec.Stat
+	// Obs is the final metrics snapshot of the run — the raw telemetry all
+	// the fields above are computed from.
+	Obs *obs.Snapshot
 }
 
 // WrapperMsgsPerEntry is the wrapper's steady-state message overhead.
@@ -152,14 +156,25 @@ func (r RunResult) WrapperMsgsPerEntry() float64 {
 }
 
 // Run executes one configured run and returns its measurements.
-func Run(cfg RunConfig) RunResult {
+func Run(cfg RunConfig) RunResult { return RunObserved(cfg, nil) }
+
+// RunObserved executes one configured run, publishing telemetry into o (a
+// private bundle is created when o is nil — pass your own to keep the trace
+// ring or serve the metrics over HTTP). Every RunResult field is computed
+// from the final obs snapshot and convergence tracker: the telemetry IS the
+// measurement, with no parallel harness bookkeeping to drift from it.
+func RunObserved(cfg RunConfig, o *obs.Obs) RunResult {
 	cfg = cfg.withDefaults()
+	if o == nil {
+		o = obs.New(obs.Options{})
+	}
 	simCfg := sim.Config{
 		N:           cfg.N,
 		Seed:        cfg.Seed,
 		NewNode:     cfg.Algo.Factory(),
 		Workload:    true,
 		MaxRequests: cfg.MaxRequests,
+		Obs:         o,
 	}
 	if cfg.DeadlockFault {
 		// Dormant workload: the client never requests on its own (think
@@ -186,10 +201,10 @@ func Run(cfg RunConfig) RunResult {
 	var mon *lspec.Monitors
 	if cfg.Monitor {
 		mon = lspec.New(cfg.N)
+		mon.Instrument(o)
 		s.SetObserver(mon.AsObserver())
 	}
 
-	lastFault := int64(-1)
 	if cfg.DeadlockFault {
 		const reqAt = 10
 		s.At(reqAt, func(s *sim.Sim) {
@@ -200,53 +215,63 @@ func Run(cfg RunConfig) RunResult {
 		// Requests are in flight for at least one tick (MinDelay ≥ 1);
 		// dropping at reqAt+1 loses every one of them.
 		s.At(reqAt+1, func(s *sim.Sim) { fault.DropAllInFlight(s) })
-		lastFault = reqAt + 1
 	}
 	if len(cfg.FaultTimes) > 0 && cfg.FaultsPerBurst > 0 {
 		in := fault.NewInjector(cfg.FaultSeed, cfg.Mix, fault.Options{})
 		in.Schedule(s, cfg.FaultTimes, cfg.FaultsPerBurst)
-		for _, t := range cfg.FaultTimes {
-			if t > lastFault {
-				lastFault = t
-			}
-		}
 	}
 
 	s.Run(cfg.Horizon)
 
-	m := s.Metrics()
+	// Every measurement below is read back from the telemetry: the injector
+	// stamped the fault window, the sim stamped entries/messages/requests,
+	// the monitors stamped violations — the snapshot is the ground truth.
+	conv := o.Convergence()
+	snap := o.Registry().Snapshot()
 	res := RunResult{
-		LastFault:            lastFault,
-		LastViolation:        -1,
-		FirstEntryAfterFault: -1,
-		Entries:              len(m.Entries),
-		Requests:             m.Requests,
-		ProgramMsgs:          m.ProgramMsgs,
-		WrapperMsgs:          m.WrapperMsgs,
-	}
-	for _, e := range m.Entries {
-		if e.Time > lastFault {
-			res.EntriesAfterFault++
-			if res.FirstEntryAfterFault < 0 {
-				res.FirstEntryAfterFault = e.Time
-			}
-		}
+		LastFault:            conv.LastFault(),
+		LastViolation:        conv.LastViolation(),
+		ConvergenceTime:      conv.Time(),
+		FirstEntryAfterFault: conv.FirstProgressAfterFault(),
+		Entries:              int(snap.Counter("sim_cs_entries_total")),
+		EntriesAfterFault:    int(conv.ProgressAfterFault()),
+		Requests:             int(snap.Counter("sim_requests_total")),
+		ProgramMsgs:          int(snap.Counter("sim_msgs_program_total")),
+		WrapperMsgs:          int(snap.Counter("sim_msgs_wrapper_total")),
+		Obs:                  snap,
 	}
 	if mon != nil {
-		res.LastViolation = mon.LastViolationTime()
-		res.Violations = len(mon.Violations()) + len(mon.FCFSViolations())
+		res.Violations = int(conv.Violations())
 		res.ViolationSummary = mon.Summary()
 		res.Starved = mon.StarvedProcesses()
-		if res.LastViolation > lastFault {
-			res.ConvergenceTime = res.LastViolation - lastFault
-		}
 		res.Converged = len(res.Starved) == 0 &&
 			len(mon.StuckEaters()) == 0 &&
 			res.EntriesAfterFault > 0
 	} else {
 		res.Converged = res.EntriesAfterFault > 0
 	}
+	hookMu.Lock()
+	if runHook != nil {
+		runHook(cfg, res)
+	}
+	hookMu.Unlock()
 	return res
+}
+
+// runHook receives every completed run; see SetRunHook.
+var (
+	hookMu  sync.Mutex
+	runHook func(RunConfig, RunResult)
+)
+
+// SetRunHook installs fn to be called (under a global mutex, so a plain
+// closure is safe against ParMap concurrency) with every completed run's
+// configuration and result. Pass nil to uninstall. The experiments CLI uses
+// it to aggregate per-experiment obs snapshots for JSON export.
+func SetRunHook(fn func(RunConfig, RunResult)) {
+	hookMu.Lock()
+	runHook = fn
+	hookMu.Unlock()
 }
 
 // unrefinedTimed is the unrefined W behind a timeout, for the ablation.

@@ -20,6 +20,7 @@ package lspec
 import (
 	"fmt"
 
+	"github.com/graybox-stabilization/graybox/internal/obs"
 	"github.com/graybox-stabilization/graybox/internal/sim"
 	"github.com/graybox-stabilization/graybox/internal/spec"
 	"github.com/graybox-stabilization/graybox/internal/tme"
@@ -56,6 +57,62 @@ type Monitors struct {
 	obs        int
 	// fcfs counts knowing-overtake events (operational ME3 violations).
 	fcfsViolations []TimedViolation
+
+	// observability (nil fields when not instrumented): every verdict
+	// becomes a first-class violation event with convergence bookkeeping.
+	otel struct {
+		bundle *obs.Obs
+		total  *obs.Counter
+		byOp   map[string]*obs.Counter
+		trace  *obs.Trace
+		conv   *obs.Convergence
+	}
+}
+
+// Instrument publishes every violation verdict to o: a per-operator
+// counter, the convergence tracker (so convergence time falls out of the
+// snapshot), and an EvViolation trace event. A nil o is a no-op.
+func (m *Monitors) Instrument(o *obs.Obs) {
+	if o == nil {
+		return
+	}
+	m.otel.bundle = o
+	m.otel.total = o.Registry().Counter("spec_violations_total", "spec-monitor violations (Lspec + TME_Spec + ME3)")
+	m.otel.byOp = make(map[string]*obs.Counter)
+	m.otel.trace = o.Tracer()
+	m.otel.conv = o.Convergence()
+}
+
+// record publishes one violation verdict.
+func (m *Monitors) record(v TimedViolation) {
+	if m.otel.bundle == nil {
+		return
+	}
+	m.otel.total.Inc()
+	c, ok := m.otel.byOp[v.V.Op]
+	if !ok {
+		c = m.otel.bundle.Registry().Counter("spec_violations_"+sanitize(v.V.Op)+"_total",
+			"violations of the "+v.V.Op+" operator")
+		m.otel.byOp[v.V.Op] = c
+	}
+	c.Inc()
+	m.otel.conv.RecordViolation(v.Time)
+	m.otel.trace.Emit(obs.Event{Time: v.Time, Kind: obs.EvViolation, A: -1, B: -1, Detail: v.V.Op})
+}
+
+// sanitize maps an operator name onto the metric-name alphabet.
+func sanitize(s string) string {
+	out := []byte(s)
+	for i, b := range out {
+		switch {
+		case b >= 'a' && b <= 'z', b >= '0' && b <= '9', b == '_':
+		case b >= 'A' && b <= 'Z':
+			out[i] = b + ('a' - 'A')
+		default:
+			out[i] = '_'
+		}
+	}
+	return string(out)
 }
 
 // New returns monitors for an n-process system.
@@ -183,7 +240,9 @@ func (m *Monitors) Observe(g sim.GlobalState) {
 	before := len(m.suite.Violations())
 	m.suite.Observe(g)
 	for _, v := range m.suite.Violations()[before:] {
-		m.violations = append(m.violations, TimedViolation{Time: g.Time, V: v})
+		tv := TimedViolation{Time: g.Time, V: v}
+		m.violations = append(m.violations, tv)
+		m.record(tv)
 	}
 	m.checkFCFS(g)
 	gg := g
@@ -210,7 +269,7 @@ func (m *Monitors) checkFCFS(g sim.GlobalState) {
 			}
 			reqJ := g.Nodes[j].REQ
 			if g.Nodes[k].Local[j] == reqJ && reqJ.Less(g.Nodes[k].REQ) {
-				m.fcfsViolations = append(m.fcfsViolations, TimedViolation{
+				tv := TimedViolation{
 					Time: g.Time,
 					V: &spec.Violation{
 						Op:    "ME3",
@@ -218,7 +277,9 @@ func (m *Monitors) checkFCFS(g sim.GlobalState) {
 						Detail: fmt.Sprintf("process %d entered knowing %d's earlier request %s < %s",
 							k, j, reqJ, g.Nodes[k].REQ),
 					},
-				})
+				}
+				m.fcfsViolations = append(m.fcfsViolations, tv)
+				m.record(tv)
 			}
 		}
 	}

@@ -1,0 +1,53 @@
+package obs
+
+import (
+	"net"
+	"net/http"
+	"net/http/pprof"
+)
+
+// Handler serves the bundle over HTTP:
+//
+//	/metrics        Prometheus text exposition
+//	/metrics.json   deterministic JSON snapshot
+//	/trace          retained trace events as text (when tracing is on)
+//	/debug/pprof/*  the Go runtime profiler (goroutines, heap, CPU, ...)
+//
+// The pprof routes are the observability story for the goroutine runtime
+// (internal/runtime): its scheduling and blocking behaviour lives in the
+// Go runtime, not in our counters.
+func (o *Obs) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		_ = o.Registry().WritePrometheus(w)
+	})
+	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = o.Registry().WriteJSON(w)
+	})
+	mux.HandleFunc("/trace", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain")
+		for _, e := range o.Tracer().Events() {
+			_, _ = w.Write([]byte(e.String() + "\n"))
+		}
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// Serve exposes Handler on addr in a background goroutine. It returns the
+// bound listener address (useful with ":0") and a shutdown function.
+func (o *Obs) Serve(addr string) (string, func() error, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, err
+	}
+	srv := &http.Server{Handler: o.Handler()}
+	go func() { _ = srv.Serve(ln) }()
+	return ln.Addr().String(), srv.Close, nil
+}

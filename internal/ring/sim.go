@@ -4,6 +4,7 @@ import (
 	"math/rand"
 
 	"github.com/graybox-stabilization/graybox/internal/channel"
+	"github.com/graybox-stabilization/graybox/internal/obs"
 )
 
 // inflight is one token travelling a link, due at a tick.
@@ -25,6 +26,9 @@ type SimConfig struct {
 	// WrapperDelta, when > 0, attaches the Regenerator wrapper to
 	// process 0 with that timeout.
 	WrapperDelta int
+	// Obs, when non-nil, receives ring metrics and trace events alongside
+	// the in-struct Metrics (which stay authoritative for existing callers).
+	Obs *obs.Obs
 }
 
 // Metrics accumulates ring counters.
@@ -48,7 +52,36 @@ type Sim struct {
 	links    []channel.FIFO[inflight] // links[i]: i → (i+1) mod n
 	wrapper  *Regenerator
 	metrics  Metrics
+	ins      ringInstruments
 	observer func(*Sim)
+}
+
+// ringInstruments mirrors Metrics into an obs registry; all fields are nil
+// (no-op) when the simulation runs without observability.
+type ringInstruments struct {
+	accepts   *obs.Counter
+	discards  *obs.Counter
+	regens    *obs.Counter
+	deadTicks *obs.Counter
+	sends     *obs.Counter
+	time      *obs.Gauge
+	trace     *obs.Trace
+}
+
+func newRingInstruments(o *obs.Obs) ringInstruments {
+	if o == nil {
+		return ringInstruments{}
+	}
+	r := o.Registry()
+	return ringInstruments{
+		accepts:   r.Counter("ring_accepts_total", "accepted token deliveries"),
+		discards:  r.Counter("ring_discards_total", "deliveries rejected by Accept Spec"),
+		regens:    r.Counter("ring_regenerations_total", "wrapper-created tokens"),
+		deadTicks: r.Counter("ring_dead_ticks_total", "ticks with no live token"),
+		sends:     r.Counter("ring_sends_total", "tokens put on links"),
+		time:      r.Gauge("ring_time", "current tick"),
+		trace:     o.Tracer(),
+	}
 }
 
 // NewSim builds a ring simulation. It panics on an invalid configuration
@@ -72,6 +105,7 @@ func NewSim(cfg SimConfig) *Sim {
 			Accepts: make([]int, cfg.N),
 		},
 	}
+	s.ins = newRingInstruments(cfg.Obs)
 	for i := range s.nodes {
 		s.nodes[i] = cfg.NewNode(i, cfg.N)
 	}
@@ -81,6 +115,7 @@ func NewSim(cfg SimConfig) *Sim {
 	// Seed the ring: process 0 starts with the first token.
 	s.nodes[0].Accept(Token{Seq: 1})
 	s.metrics.Accepts[0]++
+	s.ins.accepts.Inc()
 	return s
 }
 
@@ -100,6 +135,10 @@ func (s *Sim) Wrapper() *Regenerator { return s.wrapper }
 func (s *Sim) send(i int, t Token) {
 	delay := s.cfg.MinDelay + s.rng.Int63n(s.cfg.MaxDelay-s.cfg.MinDelay+1)
 	s.links[i].Send(inflight{tok: t, due: s.now + delay})
+	s.ins.sends.Inc()
+	if s.ins.trace != nil {
+		s.ins.trace.Emit(obs.Event{Time: s.now, Kind: obs.EvSend, A: i, B: (i + 1) % s.cfg.N, N: int(t.Seq)})
+	}
 }
 
 // Tick advances the simulation one tick: deliver due tokens, tick nodes,
@@ -118,8 +157,16 @@ func (s *Sim) Tick() {
 			s.links[i].Recv()
 			if s.nodes[dst].Accept(head.tok) {
 				s.metrics.Accepts[dst]++
+				s.ins.accepts.Inc()
+				if s.ins.trace != nil {
+					s.ins.trace.Emit(obs.Event{Time: s.now, Kind: obs.EvDeliver, A: i, B: dst, N: int(head.tok.Seq)})
+				}
 			} else {
 				s.metrics.Discards++
+				s.ins.discards.Inc()
+				if s.ins.trace != nil {
+					s.ins.trace.Emit(obs.Event{Time: s.now, Kind: obs.EvDrop, A: i, B: dst, N: int(head.tok.Seq), Detail: "stale"})
+				}
 			}
 		}
 	}
@@ -133,14 +180,21 @@ func (s *Sim) Tick() {
 	if s.wrapper != nil {
 		if t := s.wrapper.Observe(s.nodes[0]); t != nil {
 			s.metrics.Regenerations++
+			s.ins.regens.Inc()
+			if s.ins.trace != nil {
+				s.ins.trace.Emit(obs.Event{Time: s.now, Kind: obs.EvWrapperFire, A: 0, B: -1, N: int(t.Seq), Detail: "regenerate"})
+			}
 			if s.nodes[0].Accept(*t) {
 				s.metrics.Accepts[0]++
+				s.ins.accepts.Inc()
 			}
 		}
 	}
 	if s.LiveTokens() == 0 {
 		s.metrics.DeadTicks++
+		s.ins.deadTicks.Inc()
 	}
+	s.ins.time.Set(s.now)
 	if s.observer != nil {
 		s.observer(s)
 	}

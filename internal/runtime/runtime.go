@@ -15,6 +15,7 @@ import (
 	"sync"
 	"time"
 
+	"github.com/graybox-stabilization/graybox/internal/obs"
 	"github.com/graybox-stabilization/graybox/internal/tme"
 	"github.com/graybox-stabilization/graybox/internal/wrapper"
 )
@@ -40,6 +41,10 @@ type Config struct {
 	MinDelay, MaxDelay time.Duration
 	// LossRate and DupRate are per-message fault probabilities in [0,1].
 	LossRate, DupRate float64
+	// Obs, when non-nil, receives runtime metrics and trace events. All
+	// instruments are goroutine-safe; nil disables observability at
+	// nil-method-call cost.
+	Obs *obs.Obs
 }
 
 func (c Config) withDefaults() Config {
@@ -69,6 +74,7 @@ type Cluster struct {
 	cfg   Config
 	procs []*proc
 	edges []*edge
+	ins   rtInstruments
 
 	mu      sync.Mutex
 	rng     *rand.Rand
@@ -78,6 +84,40 @@ type Cluster struct {
 	stop chan struct{}
 	wg   sync.WaitGroup
 	once sync.Once
+}
+
+// rtInstruments caches the cluster's obs handles; every field is nil when
+// the cluster runs without observability (all publishes become no-ops).
+// Counters and gauges are atomics and the trace ring is mutex-guarded, so
+// publishing from event-loop and forwarder goroutines is race-free.
+type rtInstruments struct {
+	sent      *obs.Counter
+	delivered *obs.Counter
+	lost      *obs.Counter
+	dup       *obs.Counter
+	entries   *obs.Counter
+	repairs   *obs.Counter
+	delayUS   *obs.Histogram
+	trace     *obs.Trace
+	conv      *obs.Convergence
+}
+
+func newRTInstruments(o *obs.Obs) rtInstruments {
+	if o == nil {
+		return rtInstruments{}
+	}
+	r := o.Registry()
+	return rtInstruments{
+		sent:      r.Counter("runtime_msgs_sent_total", "messages routed onto edges"),
+		delivered: r.Counter("runtime_msgs_delivered_total", "messages delivered to inboxes"),
+		lost:      r.Counter("runtime_msgs_lost_total", "messages lost in transport"),
+		dup:       r.Counter("runtime_msgs_dup_total", "messages duplicated in transport"),
+		entries:   r.Counter("runtime_entries_total", "CS entries observed"),
+		repairs:   r.Counter("runtime_level1_repairs_total", "level-1 wrapper repairs"),
+		delayUS:   r.Histogram("runtime_transport_delay_us", "per-message transport delay (µs)", []int64{100, 250, 500, 1000, 2500, 5000, 10000}),
+		trace:     o.Tracer(),
+		conv:      o.Convergence(),
+	}
 }
 
 // proc is one process: its node, guarded by mu, plus its inbox.
@@ -103,12 +143,13 @@ func NewCluster(cfg Config) (*Cluster, error) {
 	c := &Cluster{
 		cfg:  cfg.withDefaults(),
 		rng:  rand.New(rand.NewSource(cfg.Seed)),
+		ins:  newRTInstruments(cfg.Obs),
 		stop: make(chan struct{}),
 	}
 	for i := 0; i < cfg.N; i++ {
 		p := &proc{id: i, node: cfg.NewNode(i, cfg.N), inbox: newMailbox[tme.Message]()}
 		if cfg.NewWrapper != nil {
-			p.wrap = cfg.NewWrapper(i)
+			p.wrap = wrapper.InstrumentLevel2(cfg.Obs, i, cfg.NewWrapper(i))
 		}
 		c.procs = append(c.procs, p)
 	}
@@ -174,10 +215,13 @@ func (c *Cluster) eventLoop(p *proc) {
 				p.mu.Lock()
 				out := p.node.Deliver(m)
 				if c.cfg.Level1 != nil {
-					c.cfg.Level1.CheckRepair(p.node)
+					if repaired, _ := c.cfg.Level1.CheckRepair(p.node); repaired {
+						c.ins.repairs.Inc()
+					}
 				}
 				entered, more := p.node.Step()
 				p.mu.Unlock()
+				c.ins.delivered.Inc()
 				c.route(append(out, more...))
 				if entered {
 					c.recordEntry(p.id)
@@ -186,7 +230,9 @@ func (c *Cluster) eventLoop(p *proc) {
 		case now := <-tick:
 			p.mu.Lock()
 			if c.cfg.Level1 != nil {
-				c.cfg.Level1.CheckRepair(p.node)
+				if repaired, _ := c.cfg.Level1.CheckRepair(p.node); repaired {
+					c.ins.repairs.Inc()
+				}
 			}
 			msgs := p.wrap.Fire(now.UnixNano(), p.node)
 			entered, more := p.node.Step()
@@ -213,16 +259,22 @@ func (c *Cluster) forward(e *edge) {
 					break
 				}
 				d, lost, dup := c.transportDraw()
+				c.ins.delayUS.Observe(int64(d / time.Microsecond))
 				select {
 				case <-time.After(d):
 				case <-c.stop:
 					return
 				}
 				if lost {
+					c.ins.lost.Inc()
+					if c.ins.trace != nil {
+						c.ins.trace.Emit(obs.Event{Time: time.Now().UnixNano(), Kind: obs.EvDrop, A: e.src, B: e.dst})
+					}
 					continue
 				}
 				c.procs[e.dst].inbox.put(m)
 				if dup {
+					c.ins.dup.Inc()
 					c.procs[e.dst].inbox.put(m)
 				}
 			}
@@ -252,6 +304,7 @@ func (c *Cluster) route(msgs []tme.Message) {
 			continue
 		}
 		c.edges[c.edgeIndex(m.From, m.To)].queue.put(m)
+		c.ins.sent.Inc()
 	}
 }
 
@@ -270,6 +323,11 @@ func (c *Cluster) recordEntry(id int) {
 	c.entries = append(c.entries, e)
 	cb := c.onEntry
 	c.mu.Unlock()
+	c.ins.entries.Inc()
+	c.ins.conv.RecordProgress(e.At.UnixNano())
+	if c.ins.trace != nil {
+		c.ins.trace.Emit(obs.Event{Time: e.At.UnixNano(), Kind: obs.EvProgress, A: id, B: -1, N: e.Seq, Detail: "cs-entry"})
+	}
 	if cb != nil {
 		cb(e)
 	}

@@ -18,6 +18,7 @@ import (
 
 	"github.com/graybox-stabilization/graybox/internal/channel"
 	"github.com/graybox-stabilization/graybox/internal/ltime"
+	"github.com/graybox-stabilization/graybox/internal/obs"
 	"github.com/graybox-stabilization/graybox/internal/tme"
 	"github.com/graybox-stabilization/graybox/internal/wrapper"
 )
@@ -53,6 +54,9 @@ type Config struct {
 	EatTime int64
 	// MaxRequests caps requests issued per process (0 = unlimited).
 	MaxRequests int
+	// Obs, when non-nil, receives metrics and trace events for the run.
+	// The nil default costs only no-op calls on nil instruments.
+	Obs *obs.Obs
 }
 
 func (c *Config) withDefaults() Config {
@@ -156,6 +160,66 @@ type Sim struct {
 	metrics  Metrics
 	observer Observer
 	stopped  bool
+	ins      instruments
+}
+
+// instruments caches the simulator's obs handles. Every field is nil when
+// observability is off, so publishing degrades to nil-receiver no-ops.
+type instruments struct {
+	obs        *obs.Obs
+	trace      *obs.Trace
+	conv       *obs.Convergence
+	progMsgs   *obs.Counter
+	wrapMsgs   *obs.Counter
+	byKind     [4]*obs.Counter // indexed by tme.Kind; slot 0 catches invalid kinds
+	delivered  *obs.Counter
+	lost       *obs.Counter
+	entries    *obs.Counter
+	requests   *obs.Counter
+	releases   *obs.Counter
+	repairs    *obs.Counter
+	events     *obs.Counter
+	simTime    *obs.Gauge
+	entryGap   *obs.Histogram // virtual ticks between consecutive CS entries
+	lastEntry  int64
+	haveEntry  bool
+	kindDetail [4]string // static labels for trace events (no per-event alloc)
+}
+
+func newInstruments(o *obs.Obs) instruments {
+	ins := instruments{obs: o}
+	if o == nil {
+		return ins
+	}
+	r := o.Registry()
+	ins.trace = o.Tracer()
+	ins.conv = o.Convergence()
+	ins.progMsgs = r.Counter("sim_msgs_program_total", "messages sent by the programs")
+	ins.wrapMsgs = r.Counter("sim_msgs_wrapper_total", "messages sent by wrappers")
+	ins.byKind[0] = r.Counter("sim_msgs_kind_invalid_total", "messages sent with an invalid kind")
+	ins.byKind[tme.Request] = r.Counter("sim_msgs_kind_request_total", "request messages sent")
+	ins.byKind[tme.Reply] = r.Counter("sim_msgs_kind_reply_total", "reply messages sent")
+	ins.byKind[tme.Release] = r.Counter("sim_msgs_kind_release_total", "release messages sent")
+	ins.delivered = r.Counter("sim_msgs_delivered_total", "messages delivered")
+	ins.lost = r.Counter("sim_delivery_misses_total", "delivery opportunities that found the channel empty (message lost to a fault)")
+	ins.entries = r.Counter("sim_cs_entries_total", "critical-section entries")
+	ins.requests = r.Counter("sim_requests_total", "client CS requests")
+	ins.releases = r.Counter("sim_releases_total", "client CS releases")
+	ins.repairs = r.Counter("sim_level1_repairs_total", "level-1 wrapper in-place repairs")
+	ins.events = r.Counter("sim_events_total", "simulator events processed")
+	ins.simTime = r.Gauge("sim_time", "current virtual time")
+	ins.entryGap = r.Histogram("sim_entry_gap_ticks", "virtual ticks between consecutive CS entries",
+		[]int64{1, 2, 5, 10, 20, 50, 100, 200, 500, 1000})
+	ins.kindDetail = [4]string{"invalid", "request", "reply", "release"}
+	return ins
+}
+
+// kindSlot maps a message kind to its counter slot (0 for invalid kinds).
+func kindSlot(k tme.Kind) int {
+	if k == tme.Request || k == tme.Reply || k == tme.Release {
+		return int(k)
+	}
+	return 0
 }
 
 // New constructs a simulator from cfg. It panics only on a nil NewNode or
@@ -173,6 +237,7 @@ func New(cfg Config) *Sim {
 		requests: make([]int, c.N),
 		relPend:  make([]bool, c.N),
 		metrics:  Metrics{MsgsByKind: make(map[tme.Kind]int)},
+		ins:      newInstruments(c.Obs),
 	}
 	for i := range s.nodes {
 		s.nodes[i] = c.NewNode(i, c.N)
@@ -180,7 +245,7 @@ func New(cfg Config) *Sim {
 	if c.NewWrapper != nil {
 		s.wrappers = make([]wrapper.Level2, c.N)
 		for i := range s.wrappers {
-			s.wrappers[i] = c.NewWrapper(i)
+			s.wrappers[i] = wrapper.InstrumentLevel2(c.Obs, i, c.NewWrapper(i))
 			s.scheduleWrapperTick(i, 0)
 		}
 	}
@@ -214,6 +279,11 @@ func (s *Sim) RNG() *rand.Rand { return s.rng }
 // Metrics returns the accumulated metrics.
 func (s *Sim) Metrics() *Metrics { return &s.metrics }
 
+// Obs returns the run's observability bundle (nil when disabled). The
+// fault injector and spec monitors publish through it so that one handle
+// collects the whole run.
+func (s *Sim) Obs() *obs.Obs { return s.cfg.Obs }
+
 // Stop ends the run after the current event.
 func (s *Sim) Stop() { s.stopped = true }
 
@@ -244,11 +314,19 @@ func (s *Sim) send(msgs []tme.Message, fromWrapper bool) {
 		}
 		s.net.Send(m.From, m.To, m)
 		s.metrics.MsgsByKind[m.Kind]++
+		slot := kindSlot(m.Kind)
+		s.ins.byKind[slot].Inc()
 		if fromWrapper {
 			s.metrics.WrapperMsgs++
+			s.ins.wrapMsgs.Inc()
 		} else {
 			s.metrics.ProgramMsgs++
+			s.ins.progMsgs.Inc()
 		}
+		s.ins.trace.Emit(obs.Event{
+			Time: s.now, Kind: obs.EvSend, A: m.From, B: m.To,
+			Detail: s.ins.kindDetail[slot],
+		})
 		s.ScheduleDelivery(channel.Endpoint{Src: m.From, Dst: m.To}, s.delay())
 	}
 }
@@ -268,9 +346,12 @@ func (s *Sim) deliver(ep channel.Endpoint) {
 	}
 	m, ok := q.Recv()
 	if !ok {
+		s.ins.lost.Inc()
 		return // lost to a fault; the delivery opportunity passes
 	}
 	s.metrics.Delivered++
+	s.ins.delivered.Inc()
+	s.ins.trace.Emit(obs.Event{Time: s.now, Kind: obs.EvDeliver, A: ep.Src, B: ep.Dst})
 	out := s.nodes[ep.Dst].Deliver(m)
 	s.send(out, false)
 	s.afterEventAt(ep.Dst)
@@ -285,6 +366,15 @@ func (s *Sim) afterEventAt(i int) {
 		s.metrics.Entries = append(s.metrics.Entries, Entry{
 			Time: s.now, ID: i, REQ: s.nodes[i].REQ(),
 		})
+		s.ins.entries.Inc()
+		s.ins.conv.RecordProgress(s.now)
+		s.ins.trace.Emit(obs.Event{Time: s.now, Kind: obs.EvProgress, A: i, B: -1, Detail: "cs-entry"})
+		if s.ins.entryGap != nil {
+			if s.ins.haveEntry {
+				s.ins.entryGap.Observe(s.now - s.ins.lastEntry)
+			}
+			s.ins.lastEntry, s.ins.haveEntry = s.now, true
+		}
 		if s.cfg.Workload && !s.relPend[i] {
 			s.relPend[i] = true
 			s.At(s.now+s.cfg.EatTime, func(s *Sim) { s.release(i) })
@@ -304,7 +394,10 @@ func (s *Sim) scheduleClientTick(i int, after int64) {
 // local program, not a message handler).
 func (s *Sim) runLevel1(i int) {
 	if s.cfg.Level1 != nil {
-		s.cfg.Level1.CheckRepair(s.nodes[i])
+		if repaired, _ := s.cfg.Level1.CheckRepair(s.nodes[i]); repaired {
+			s.ins.repairs.Inc()
+			s.ins.trace.Emit(obs.Event{Time: s.now, Kind: obs.EvRepair, A: i, B: -1})
+		}
 	}
 }
 
@@ -342,6 +435,7 @@ func (s *Sim) doRequest(i int) {
 	}
 	s.requests[i]++
 	s.metrics.Requests++
+	s.ins.requests.Inc()
 	s.send(s.nodes[i].RequestCS(), false)
 	s.afterEventAt(i)
 }
@@ -353,6 +447,7 @@ func (s *Sim) release(i int) {
 		return // a fault moved the phase; nothing to release
 	}
 	s.metrics.Releases++
+	s.ins.releases.Inc()
 	s.send(s.nodes[i].ReleaseCS(), false)
 	s.afterEventAt(i)
 }
@@ -387,6 +482,7 @@ func (s *Sim) Run(horizon int64) int64 {
 		s.now = ev.time
 		ev.act(s)
 		s.metrics.Events++
+		s.ins.events.Inc()
 		n++
 		if s.observer != nil {
 			s.observer(s)
@@ -395,6 +491,7 @@ func (s *Sim) Run(horizon int64) int64 {
 	if s.now < horizon {
 		s.now = horizon
 	}
+	s.ins.simTime.Set(s.now)
 	return n
 }
 

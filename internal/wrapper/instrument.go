@@ -1,0 +1,60 @@
+package wrapper
+
+import (
+	"github.com/graybox-stabilization/graybox/internal/obs"
+	"github.com/graybox-stabilization/graybox/internal/tme"
+)
+
+// Instrumented decorates a Level2 wrapper with observability: it counts
+// guard evaluations, guard openings (firings), and corrective sends, and
+// emits a trace event per firing. It changes no behaviour — the inner
+// wrapper's messages pass through untouched — so the interference-freedom
+// results (Lemma 6) are unaffected.
+//
+// Nil instruments are valid (obs off): the decorator then costs a few
+// nil-receiver calls per evaluation.
+type Instrumented struct {
+	// Inner is the wrapped Level2 (required).
+	Inner Level2
+	// ID is the owning process, recorded on trace events.
+	ID int
+	// Evals counts guard evaluations; Fires counts evaluations whose guard
+	// opened; Sends counts corrective messages produced.
+	Evals, Fires, Sends *obs.Counter
+	// Trace receives one EvWrapperFire event per opening (nil = no trace).
+	Trace *obs.Trace
+}
+
+var _ Level2 = (*Instrumented)(nil)
+
+// Fire evaluates the inner wrapper and publishes the outcome.
+func (w *Instrumented) Fire(now int64, v tme.SpecView) []tme.Message {
+	msgs := w.Inner.Fire(now, v)
+	w.Evals.Inc()
+	if len(msgs) > 0 {
+		w.Fires.Inc()
+		w.Sends.Add(int64(len(msgs)))
+		w.Trace.Emit(obs.Event{
+			Time: now, Kind: obs.EvWrapperFire, A: w.ID, B: -1, N: len(msgs),
+		})
+	}
+	return msgs
+}
+
+// InstrumentLevel2 wraps l2 for process id against o's registry and trace.
+// It returns l2 unchanged when o is nil — disabled observability leaves
+// the wrapper stack untouched.
+func InstrumentLevel2(o *obs.Obs, id int, l2 Level2) Level2 {
+	if o == nil {
+		return l2
+	}
+	r := o.Registry()
+	return &Instrumented{
+		Inner: l2,
+		ID:    id,
+		Evals: r.Counter("wrapper_evals_total", "level-2 wrapper guard evaluations"),
+		Fires: r.Counter("wrapper_fires_total", "level-2 wrapper guard openings"),
+		Sends: r.Counter("wrapper_msgs_total", "corrective messages sent by level-2 wrappers"),
+		Trace: o.Tracer(),
+	}
+}
