@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race test-race cover bench bench-baseline experiments examples fuzz clean
+.PHONY: all build test race test-race cover bench bench-baseline bench-compare experiments examples fuzz clean
 
 all: build test
 
@@ -17,10 +17,12 @@ test:
 race:
 	$(GO) test -race ./...
 
-# Focused race pass over the concurrent packages (the goroutine runtime and
-# the observability instruments it publishes to).
+# Focused race pass over the concurrent packages (the goroutine runtime, the
+# observability instruments it publishes to, and the harness's parallel
+# sweep, which must equal a sequential sweep bit-for-bit).
 test-race:
 	$(GO) test -race ./internal/runtime/... ./internal/obs/...
+	$(GO) test -race -run ParMap ./internal/harness/
 
 cover:
 	$(GO) test -cover ./...
@@ -31,6 +33,11 @@ bench:
 # Regenerate the committed benchmark baseline (BENCH_BASELINE.json).
 bench-baseline:
 	$(GO) run ./cmd/bench -out BENCH_BASELINE.json
+
+# Re-measure and diff against the committed baseline; exits non-zero when
+# ns/op or allocs/op regressed beyond the tolerance.
+bench-compare:
+	$(GO) run ./cmd/bench -out BENCH_PR2.json -compare BENCH_BASELINE.json
 
 # Regenerate every experiment table of EXPERIMENTS.md (full scale ≈ 30 min).
 experiments:
@@ -52,6 +59,7 @@ fuzz:
 	$(GO) test -run=Fuzz -fuzz=FuzzFIFOOps -fuzztime=15s ./internal/channel/
 	$(GO) test -run=Fuzz -fuzz=FuzzAcceptForward -fuzztime=15s ./internal/ring/
 	$(GO) test -run=Fuzz -fuzz=FuzzParseSystem -fuzztime=15s ./cmd/gbcheck/
+	$(GO) test -run=Fuzz -fuzz=FuzzEventHeap -fuzztime=15s ./internal/sim/
 
 clean:
 	$(GO) clean ./...

@@ -4,16 +4,32 @@
 // obs exporter. The committed BENCH_BASELINE.json is its output; regenerate
 // with `make bench-baseline` after performance-relevant changes.
 //
+// With -compare the run also diffs its measurements against a previous
+// snapshot and exits non-zero on performance regressions, making it a CI
+// gate:
+//
+//	bench -out BENCH_PR2.json -compare BENCH_BASELINE.json
+//
+// A ns/op or allocs/op gauge that grew by more than -tolerance (relative,
+// default 0.15) is reported as a regression. When -fail-tolerance is set
+// higher than -tolerance, regressions between the two are advisory (printed,
+// exit 0) and only those beyond -fail-tolerance fail the run — CI uses this
+// on a short -benchtime budget, where scheduler noise makes small deltas
+// meaningless but a 2x regression is real.
+//
 // Usage:
 //
-//	bench [-out BENCH_BASELINE.json]
+//	bench [-out BENCH_BASELINE.json] [-benchtime 30x]
+//	      [-compare old.json [-tolerance 0.15] [-fail-tolerance 1.0]]
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"sort"
 	"strings"
 	"testing"
 
@@ -31,8 +47,20 @@ func main() {
 func run(args []string, out, errOut io.Writer) error {
 	fs := flag.NewFlagSet("bench", flag.ContinueOnError)
 	outPath := fs.String("out", "BENCH_BASELINE.json", `output file ("-" = stdout)`)
+	comparePath := fs.String("compare", "", "previous snapshot to diff against; regressions exit non-zero")
+	tolerance := fs.Float64("tolerance", 0.15, "relative ns/op or allocs/op growth reported as a regression")
+	failTolerance := fs.Float64("fail-tolerance", 0, "growth beyond which the run fails (0 = same as -tolerance; set higher to make smaller regressions advisory)")
+	benchtime := fs.String("benchtime", "", `benchmark time budget per benchmark, as accepted by go test (e.g. "2s", "10x")`)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *benchtime != "" {
+		// testing.Benchmark reads the test.benchtime flag; register the
+		// testing flags so it can be set without running under go test.
+		testing.Init()
+		if err := flag.Set("test.benchtime", *benchtime); err != nil {
+			return fmt.Errorf("bad -benchtime: %w", err)
+		}
 	}
 
 	// With -out - the snapshot itself goes to stdout, so the per-benchmark
@@ -123,7 +151,82 @@ func run(args []string, out, errOut io.Writer) error {
 		w = f
 		fmt.Fprintf(status, "wrote %s\n", *outPath)
 	}
-	return reg.WriteJSON(w)
+	if err := reg.WriteJSON(w); err != nil {
+		return err
+	}
+
+	if *comparePath == "" {
+		return nil
+	}
+	old, err := loadSnapshot(*comparePath)
+	if err != nil {
+		return fmt.Errorf("load -compare snapshot: %w", err)
+	}
+	failTol := *failTolerance
+	if failTol < *tolerance {
+		failTol = *tolerance
+	}
+	hard := compareSnapshots(status, old, reg.Snapshot(), *tolerance, failTol)
+	if hard > 0 {
+		return fmt.Errorf("%d benchmark metric(s) regressed more than %.0f%% vs %s",
+			hard, failTol*100, *comparePath)
+	}
+	return nil
+}
+
+// loadSnapshot reads a previously written metrics snapshot.
+func loadSnapshot(path string) (*obs.Snapshot, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	s := obs.NewSnapshot()
+	if err := json.Unmarshal(b, s); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// gated reports whether a gauge participates in the regression gate.
+// ns/op and allocs/op are gated; bytes/op, iteration counts, and custom
+// semantic metrics (conv-ticks etc.) are informational only.
+func gated(name string) bool {
+	return strings.HasSuffix(name, "_ns_op") || strings.HasSuffix(name, "_allocs_op")
+}
+
+// compareSnapshots prints a delta table of every benchmark gauge present in
+// both snapshots, flags gated metrics whose relative growth exceeds tol, and
+// returns how many exceeded failTol (the caller fails the run when > 0).
+func compareSnapshots(w io.Writer, old, cur *obs.Snapshot, tol, failTol float64) (hard int) {
+	names := make([]string, 0, len(cur.Gauges))
+	for name := range cur.Gauges {
+		if _, ok := old.Gauges[name]; ok {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	fmt.Fprintf(w, "\n%-44s %14s %14s %9s\n", "metric", "old", "new", "delta")
+	for _, name := range names {
+		ov, nv := old.Gauges[name], cur.Gauges[name]
+		var delta float64
+		switch {
+		case ov != 0:
+			delta = float64(nv-ov) / float64(ov)
+		case nv != 0:
+			delta = 1 // from zero: treat any growth as +100%
+		}
+		verdict := ""
+		if gated(name) && delta > tol {
+			if delta > failTol {
+				verdict = "  REGRESSION"
+				hard++
+			} else {
+				verdict = "  advisory"
+			}
+		}
+		fmt.Fprintf(w, "%-44s %14d %14d %+8.1f%%%s\n", name, ov, nv, delta*100, verdict)
+	}
+	return hard
 }
 
 // sanitize maps a custom metric name ("conv-ticks/run") to a metric-safe

@@ -1,6 +1,134 @@
 package main
 
-import "testing"
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/graybox-stabilization/graybox/internal/obs"
+)
+
+func snapshotWithGauges(g map[string]int64) *obs.Snapshot {
+	s := obs.NewSnapshot()
+	for k, v := range g {
+		s.Gauges[k] = v
+	}
+	return s
+}
+
+func TestCompareSnapshots(t *testing.T) {
+	old := snapshotWithGauges(map[string]int64{
+		"bench_a_ns_op":     1000,
+		"bench_a_allocs_op": 100,
+		"bench_a_bytes_op":  5000,
+		"bench_old_only":    1,
+	})
+	cases := []struct {
+		name     string
+		cur      map[string]int64
+		tol      float64
+		failTol  float64
+		wantHard int
+		want     []string
+	}{
+		{
+			name: "improvement passes",
+			cur: map[string]int64{
+				"bench_a_ns_op": 700, "bench_a_allocs_op": 50, "bench_a_bytes_op": 4000,
+			},
+			tol: 0.15, failTol: 0.15, wantHard: 0,
+			want: []string{"-30.0%"},
+		},
+		{
+			name: "regression beyond tolerance fails",
+			cur: map[string]int64{
+				"bench_a_ns_op": 1300, "bench_a_allocs_op": 100,
+			},
+			tol: 0.15, failTol: 0.15, wantHard: 1,
+			want: []string{"REGRESSION"},
+		},
+		{
+			name: "advisory band warns without failing",
+			cur: map[string]int64{
+				"bench_a_ns_op": 1300, "bench_a_allocs_op": 100,
+			},
+			tol: 0.15, failTol: 1.0, wantHard: 0,
+			want: []string{"advisory"},
+		},
+		{
+			name: "doubling fails even with advisory band",
+			cur: map[string]int64{
+				"bench_a_ns_op": 2500, "bench_a_allocs_op": 100,
+			},
+			tol: 0.15, failTol: 1.0, wantHard: 1,
+			want: []string{"REGRESSION"},
+		},
+		{
+			name: "bytes per op is informational only",
+			cur: map[string]int64{
+				"bench_a_ns_op": 1000, "bench_a_allocs_op": 100, "bench_a_bytes_op": 50000,
+			},
+			tol: 0.15, failTol: 0.15, wantHard: 0,
+			want: []string{"bench_a_bytes_op"},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var b strings.Builder
+			hard := compareSnapshots(&b, old, snapshotWithGauges(tc.cur), tc.tol, tc.failTol)
+			if hard != tc.wantHard {
+				t.Errorf("hard = %d, want %d\n%s", hard, tc.wantHard, b.String())
+			}
+			for _, w := range tc.want {
+				if !strings.Contains(b.String(), w) {
+					t.Errorf("output missing %q:\n%s", w, b.String())
+				}
+			}
+			if strings.Contains(b.String(), "bench_old_only") {
+				t.Errorf("gauge absent from the new run should not be diffed:\n%s", b.String())
+			}
+		})
+	}
+}
+
+func TestLoadSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "snap.json")
+	if err := os.WriteFile(path, []byte(`{"counters":{},"gauges":{"x_ns_op":42}}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s, err := loadSnapshot(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Gauges["x_ns_op"] != 42 {
+		t.Errorf("x_ns_op = %d, want 42", s.Gauges["x_ns_op"])
+	}
+	if _, err := loadSnapshot(filepath.Join(dir, "missing.json")); err == nil {
+		t.Error("missing file accepted")
+	}
+	if err := os.WriteFile(path, []byte("not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := loadSnapshot(path); err == nil {
+		t.Error("malformed JSON accepted")
+	}
+}
+
+func TestGated(t *testing.T) {
+	for name, want := range map[string]bool{
+		"bench_stabilize_ra_ns_op":              true,
+		"bench_stabilize_ra_allocs_op":          true,
+		"bench_stabilize_ra_bytes_op":           false,
+		"bench_stabilize_ra_iterations":         false,
+		"bench_stabilize_ra_conv_ticks_per_run": false,
+	} {
+		if got := gated(name); got != want {
+			t.Errorf("gated(%q) = %v, want %v", name, got, want)
+		}
+	}
+}
 
 func TestSanitize(t *testing.T) {
 	cases := map[string]string{

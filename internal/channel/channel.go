@@ -108,32 +108,32 @@ func (e Endpoint) String() string { return fmt.Sprintf("%d->%d", e.Src, e.Dst) }
 // Net is the full mesh of directed FIFO channels among n processes. The
 // paper assumes the processes are connected; we model the complete graph,
 // which both RA ME and Lamport ME require (requests go to all processes).
+//
+// Channels live in a dense n×n array indexed by src*n+dst, so the per-
+// delivery lookup is an index computation instead of a map hash — the
+// lookup sits on the simulator's hottest path.
 type Net[T any] struct {
 	n     int
-	chans map[Endpoint]*FIFO[T]
+	chans []FIFO[T] // row-major [src][dst]; the diagonal stays empty
 }
 
 // NewNet returns a network of n processes with empty channels between every
 // ordered pair of distinct processes.
 func NewNet[T any](n int) *Net[T] {
-	nn := &Net[T]{n: n, chans: make(map[Endpoint]*FIFO[T], n*(n-1))}
-	for i := 0; i < n; i++ {
-		for j := 0; j < n; j++ {
-			if i != j {
-				nn.chans[Endpoint{Src: i, Dst: j}] = &FIFO[T]{}
-			}
-		}
-	}
-	return nn
+	return &Net[T]{n: n, chans: make([]FIFO[T], n*n)}
 }
 
 // N returns the number of processes.
 func (nn *Net[T]) N() int { return nn.n }
 
 // Chan returns the directed channel src→dst, or nil if the endpoint is
-// invalid (out of range or src == dst).
+// invalid (out of range or src == dst). The returned pointer stays valid
+// for the network's lifetime.
 func (nn *Net[T]) Chan(src, dst int) *FIFO[T] {
-	return nn.chans[Endpoint{Src: src, Dst: dst}]
+	if src < 0 || src >= nn.n || dst < 0 || dst >= nn.n || src == dst {
+		return nil
+	}
+	return &nn.chans[src*nn.n+dst]
 }
 
 // Send enqueues m on src→dst. It returns false for invalid endpoints.
@@ -149,16 +149,16 @@ func (nn *Net[T]) Send(src, dst int, m T) bool {
 // TotalQueued returns the number of messages in flight across all channels.
 func (nn *Net[T]) TotalQueued() int {
 	total := 0
-	for _, q := range nn.chans {
-		total += q.Len()
+	for i := range nn.chans {
+		total += nn.chans[i].Len()
 	}
 	return total
 }
 
 // ClearAll flushes every channel (the "all channels are empty" Init state).
 func (nn *Net[T]) ClearAll() {
-	for _, q := range nn.chans {
-		q.Clear()
+	for i := range nn.chans {
+		nn.chans[i].Clear()
 	}
 }
 

@@ -86,9 +86,14 @@ type RunConfig struct {
 	// per-process workload so liveness obligations can drain.
 	Horizon     int64
 	MaxRequests int
-	// Monitor enables the Lspec/TME monitors (costs a snapshot per
-	// event). Message-economy experiments can turn it off.
+	// Monitor enables the Lspec/TME monitors (costs an incremental
+	// snapshot per event). Message-economy experiments can turn it off.
 	Monitor bool
+	// MonitorFullSnapshot forces the reference full-rebuild snapshot path
+	// instead of incremental dirty-tracking. Slower; it exists for the
+	// monitor parity tests, which prove both paths produce identical
+	// measurements.
+	MonitorFullSnapshot bool
 }
 
 func (c RunConfig) withDefaults() RunConfig {
@@ -202,7 +207,11 @@ func RunObserved(cfg RunConfig, o *obs.Obs) RunResult {
 	if cfg.Monitor {
 		mon = lspec.New(cfg.N)
 		mon.Instrument(o)
-		s.SetObserver(mon.AsObserver())
+		if cfg.MonitorFullSnapshot {
+			s.SetObserver(mon.AsFullSnapshotObserver())
+		} else {
+			s.SetObserver(mon.AsObserver())
+		}
 	}
 
 	if cfg.DeadlockFault {

@@ -20,6 +20,7 @@ package lspec
 import (
 	"fmt"
 
+	"github.com/graybox-stabilization/graybox/internal/ltime"
 	"github.com/graybox-stabilization/graybox/internal/obs"
 	"github.com/graybox-stabilization/graybox/internal/sim"
 	"github.com/graybox-stabilization/graybox/internal/spec"
@@ -51,9 +52,12 @@ type Monitors struct {
 	// eventually discharged, per ordered pair.
 	replyPending []*spec.LeadsToMonitor[sim.GlobalState]
 
-	times      []int64 // observation index → virtual time
 	violations []TimedViolation
-	prev       *sim.GlobalState
+	// prevPhases retains the previous observation's client phases — all
+	// checkFCFS needs from the prior state — so observing costs no heap
+	// copy of the snapshot.
+	prevPhases []tme.Phase
+	havePrev   bool
 	obs        int
 	// fcfs counts knowing-overtake events (operational ME3 violations).
 	fcfsViolations []TimedViolation
@@ -131,7 +135,7 @@ func New(n int) *Monitors {
 
 	// ME1 (TME_Spec): at most one process eats.
 	m.suite.Add(spec.NewInvariant("ME1", func(g sim.GlobalState) bool {
-		return len(g.Eating()) <= 1
+		return g.NumEating() <= 1
 	}))
 
 	// Invariant I of Theorem A.1: local copies never lead the truth.
@@ -178,9 +182,8 @@ func New(n int) *Monitors {
 	// CS Spec (liveness): e.j ↦ ¬e.j.
 	for j := 0; j < n; j++ {
 		j := j
-		lt := spec.NewLeadsTo(fmt.Sprintf("cs-transient.%d", j),
-			func(g sim.GlobalState) bool { return g.Nodes[j].Phase == tme.Eating },
-			func(g sim.GlobalState) bool { return g.Nodes[j].Phase != tme.Eating })
+		lt := spec.NewLeadsToNot(fmt.Sprintf("cs-transient.%d", j),
+			func(g sim.GlobalState) bool { return g.Nodes[j].Phase == tme.Eating })
 		m.csTransient = append(m.csTransient, lt)
 		m.suite.Add(lt)
 	}
@@ -205,10 +208,10 @@ func New(n int) *Monitors {
 			}
 			j, k := j, k
 			p := func(g sim.GlobalState) bool {
-				s := g.Nodes[j]
+				s := &g.Nodes[j]
 				return s.Received[k] && s.Local[k].Less(s.REQ)
 			}
-			lt := spec.NewLeadsTo(fmt.Sprintf("reply.%d.%d", j, k), p, spec.Not(p))
+			lt := spec.NewLeadsToNot(fmt.Sprintf("reply.%d.%d", j, k), p)
 			m.replyPending = append(m.replyPending, lt)
 			m.suite.Add(lt)
 		}
@@ -236,7 +239,6 @@ func InvariantI(g sim.GlobalState) bool {
 
 // Observe feeds the next snapshot to all monitors.
 func (m *Monitors) Observe(g sim.GlobalState) {
-	m.times = append(m.times, g.Time)
 	before := len(m.suite.Violations())
 	m.suite.Observe(g)
 	for _, v := range m.suite.Violations()[before:] {
@@ -245,8 +247,14 @@ func (m *Monitors) Observe(g sim.GlobalState) {
 		m.record(tv)
 	}
 	m.checkFCFS(g)
-	gg := g
-	m.prev = &gg
+	if cap(m.prevPhases) < len(g.Nodes) {
+		m.prevPhases = make([]tme.Phase, len(g.Nodes))
+	}
+	m.prevPhases = m.prevPhases[:len(g.Nodes)]
+	for i := range g.Nodes {
+		m.prevPhases[i] = g.Nodes[i].Phase
+	}
+	m.havePrev = true
 	m.obs++
 }
 
@@ -255,11 +263,11 @@ func (m *Monitors) Observe(g sim.GlobalState) {
 // (k.REQ_j = REQ_j). Recording j's request implies it causally preceded k's
 // entry, so this is an operational ME3 violation.
 func (m *Monitors) checkFCFS(g sim.GlobalState) {
-	if m.prev == nil {
+	if !m.havePrev {
 		return
 	}
 	for k := range g.Nodes {
-		if g.Nodes[k].Phase != tme.Eating || m.prev.Nodes[k].Phase == tme.Eating {
+		if g.Nodes[k].Phase != tme.Eating || m.prevPhases[k] == tme.Eating {
 			continue
 		}
 		// k just entered.
@@ -292,12 +300,45 @@ func (m *Monitors) checkFCFS(g sim.GlobalState) {
 // wrapper ticks within one instant cannot have changed any node. State
 // corruption between activity events is observed at the next observed
 // event; violation times shift by at most one event.
+//
+// Snapshots are maintained incrementally: the simulator's dirty tracking
+// tells the observer which processes changed and whether any channel was
+// touched, so each observation re-reads only the changed parts instead of
+// rebuilding the whole GlobalState. The observation stream is identical to
+// AsFullSnapshotObserver's (proven by the monitor parity tests); only the
+// per-event work differs.
 func (m *Monitors) AsObserver() sim.Observer {
 	lastActivity := -1
 	lastTime := int64(-1)
 	// Two rotating snapshot buffers: every monitor retains at most the
 	// immediately previous state, so a buffer is never overwritten while
-	// a monitor still reads it.
+	// a monitor still reads it. Each buffer carries its own versions, so
+	// delta updates account for everything that changed since *that*
+	// buffer was last synchronized (two observations ago).
+	var bufs [2]sim.GlobalState
+	var vers [2]sim.SnapVersions
+	cur := 0
+	return func(s *sim.Sim) {
+		mt := s.Metrics()
+		activity := mt.Delivered + mt.Requests + mt.Releases +
+			mt.ProgramMsgs + mt.WrapperMsgs + len(mt.Entries)
+		if activity == lastActivity && s.Now() == lastTime {
+			return
+		}
+		lastActivity, lastTime = activity, s.Now()
+		s.SnapshotDeltaInto(&bufs[cur], &vers[cur])
+		m.Observe(bufs[cur])
+		cur = 1 - cur
+	}
+}
+
+// AsFullSnapshotObserver is the reference observer: identical observation
+// cadence to AsObserver, but every snapshot is rebuilt from scratch with
+// SnapshotInto. It exists so the parity tests can prove the incremental
+// path equivalent; production callers want AsObserver.
+func (m *Monitors) AsFullSnapshotObserver() sim.Observer {
+	lastActivity := -1
+	lastTime := int64(-1)
 	var bufs [2]sim.GlobalState
 	cur := 0
 	return func(s *sim.Sim) {
@@ -411,53 +452,57 @@ func (m *Monitors) Clean() bool {
 }
 
 // monotoneTS checks Timestamp Spec: ts.j never decreases across snapshots.
+// It retains only the previous ts.j — not the whole snapshot — so observing
+// copies two words per state instead of a GlobalState.
 type monotoneTS struct {
-	name string
-	j    int
-	have bool
-	last sim.GlobalState
+	name      string
+	j         int
+	have      bool
+	lastTS    ltime.Timestamp
+	lastHasTS bool
 }
 
 func (mt *monotoneTS) Name() string { return mt.name }
 func (mt *monotoneTS) Pending() int { return 0 }
 
 func (mt *monotoneTS) Observe(g sim.GlobalState) *spec.Violation {
-	defer func() { mt.last, mt.have = g, true }()
-	if !mt.have {
+	cur := &g.Nodes[mt.j]
+	prevTS, prevHas, first := mt.lastTS, mt.lastHasTS, !mt.have
+	mt.lastTS, mt.lastHasTS, mt.have = cur.TS, cur.HasTS, true
+	if first || !prevHas || !cur.HasTS {
 		return nil
 	}
-	prev, cur := mt.last.Nodes[mt.j], g.Nodes[mt.j]
-	if !prev.HasTS || !cur.HasTS {
-		return nil
-	}
-	if cur.TS.Less(prev.TS) {
+	if cur.TS.Less(prevTS) {
 		return &spec.Violation{Op: "timestamp", Detail: fmt.Sprintf(
-			"%s: ts regressed from %s to %s", mt.name, prev.TS, cur.TS)}
+			"%s: ts regressed from %s to %s", mt.name, prevTS, cur.TS)}
 	}
 	return nil
 }
 
 // stableREQ checks the safety half of Request Spec / CS Entry Spec: while a
-// process stays hungry, REQ_j does not change.
+// process stays hungry, REQ_j does not change. Like monotoneTS it retains
+// only the fields the next comparison needs.
 type stableREQ struct {
-	name string
-	j    int
-	have bool
-	last sim.GlobalState
+	name      string
+	j         int
+	have      bool
+	lastPhase tme.Phase
+	lastREQ   ltime.Timestamp
 }
 
 func (sr *stableREQ) Name() string { return sr.name }
 func (sr *stableREQ) Pending() int { return 0 }
 
 func (sr *stableREQ) Observe(g sim.GlobalState) *spec.Violation {
-	defer func() { sr.last, sr.have = g, true }()
-	if !sr.have {
+	cur := &g.Nodes[sr.j]
+	prevPhase, prevREQ, first := sr.lastPhase, sr.lastREQ, !sr.have
+	sr.lastPhase, sr.lastREQ, sr.have = cur.Phase, cur.REQ, true
+	if first {
 		return nil
 	}
-	prev, cur := sr.last.Nodes[sr.j], g.Nodes[sr.j]
-	if prev.Phase == tme.Hungry && cur.Phase == tme.Hungry && prev.REQ != cur.REQ {
+	if prevPhase == tme.Hungry && cur.Phase == tme.Hungry && prevREQ != cur.REQ {
 		return &spec.Violation{Op: "request", Detail: fmt.Sprintf(
-			"%s: REQ changed from %s to %s while hungry", sr.name, prev.REQ, cur.REQ)}
+			"%s: REQ changed from %s to %s while hungry", sr.name, prevREQ, cur.REQ)}
 	}
 	return nil
 }

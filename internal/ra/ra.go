@@ -112,8 +112,15 @@ func (nd *Node) ReleaseCS() []tme.Message {
 	}
 	ts := nd.clock.Tick() // the release event
 	var msgs []tme.Message
-	for _, k := range nd.deferredSet() {
-		msgs = append(msgs, tme.Message{Kind: tme.Reply, TS: ts, From: nd.id, To: k})
+	// Inline the deferred-set membership test (same predicate as
+	// deferredSet) so releasing allocates at most once, for the replies.
+	for k := 0; k < nd.n; k++ {
+		if k != nd.id && nd.received[k] && nd.req.Less(nd.local[k]) {
+			if msgs == nil {
+				msgs = make([]tme.Message, 0, nd.n-1)
+			}
+			msgs = append(msgs, tme.Message{Kind: tme.Reply, TS: ts, From: nd.id, To: k})
+		}
 	}
 	for k := range nd.received {
 		nd.received[k] = false

@@ -10,6 +10,11 @@
 // (internal/wrapper) — realizing the M ▯ W composition operationally — and
 // exposes hooks for the fault injector (internal/fault) and for spec
 // monitors (internal/lspec) via per-event observers.
+//
+// The hot path is allocation-free in steady state: scheduled occurrences
+// are typed event records (no closure per event), and observers can keep
+// snapshots current with SnapshotDeltaInto, which reobserves only the
+// processes and channels that changed since the observer last looked.
 package sim
 
 import (
@@ -98,8 +103,10 @@ type Metrics struct {
 	Entries []Entry
 	// ProgramMsgs and WrapperMsgs count messages by origin.
 	ProgramMsgs, WrapperMsgs int
-	// MsgsByKind counts sent messages by kind (program + wrapper).
-	MsgsByKind map[tme.Kind]int
+	// kindCounts counts sent messages by kind (program + wrapper),
+	// indexed by kindSlot. A fixed array instead of a map keeps the send
+	// path allocation- and hash-free; read through MsgsByKind.
+	kindCounts [4]int
 	// Delivered counts messages actually delivered.
 	Delivered int
 	// Requests and Releases count client actions performed.
@@ -107,6 +114,10 @@ type Metrics struct {
 	// Events counts processed simulator events.
 	Events int64
 }
+
+// MsgsByKind returns the number of sent messages of kind k (program +
+// wrapper). Invalid kinds share one slot.
+func (m *Metrics) MsgsByKind(k tme.Kind) int { return m.kindCounts[kindSlot(k)] }
 
 // GlobalState is a plain-data snapshot of the whole system, consumed by
 // spec monitors.
@@ -120,7 +131,8 @@ type GlobalState struct {
 	InFlight []tme.Message
 }
 
-// Eating returns the ids of processes currently eating.
+// Eating returns the ids of processes currently eating. It allocates;
+// monitors on the per-event path use NumEating instead.
 func (g *GlobalState) Eating() []int {
 	var out []int
 	for _, s := range g.Nodes {
@@ -131,16 +143,53 @@ func (g *GlobalState) Eating() []int {
 	return out
 }
 
+// NumEating returns how many processes are currently eating, without
+// allocating (ME1 only needs the count).
+func (g *GlobalState) NumEating() int {
+	n := 0
+	for i := range g.Nodes {
+		if g.Nodes[i].Phase == tme.Eating {
+			n++
+		}
+	}
+	return n
+}
+
 // Observer is called after every processed event with the up-to-date
 // simulation. Observers may read state (Snapshot, Node, Now) but must not
 // mutate the simulation.
 type Observer func(s *Sim)
 
+// evKind discriminates the typed event records of the hot path. Every
+// recurring occurrence (delivery, client tick, wrapper tick, release) is a
+// plain record dispatched by a switch in Run; only the rare path — At,
+// used by fault injectors and tests — carries a closure.
+type evKind uint8
+
+const (
+	// evFunc runs event.act (the At escape hatch).
+	evFunc evKind = iota
+	// evDeliver pops the head of channel a→b into node b.
+	evDeliver
+	// evClientTick runs the closed-loop client at node a.
+	evClientTick
+	// evWrapperTick fires node a's level-2 wrapper.
+	evWrapperTick
+	// evRequest performs the client "Request CS" action at node a.
+	evRequest
+	// evRelease performs the client "Release CS" action at node a.
+	evRelease
+)
+
 // event is one scheduled occurrence. seq breaks time ties deterministically
-// in schedule order.
+// in schedule order. Typed events carry their operands in a and b; only
+// evFunc events allocate (the closure), which keeps the steady-state
+// scheduling path heap-free.
 type event struct {
 	time int64
 	seq  uint64
+	kind evKind
+	a, b int32 // node id (a) or channel endpoint (a→b)
 	act  func(s *Sim)
 }
 
@@ -161,6 +210,16 @@ type Sim struct {
 	observer Observer
 	stopped  bool
 	ins      instruments
+
+	// Dirty tracking for incremental snapshots: a version counter per
+	// node, one for the whole network, and a global generation bumped
+	// whenever an At-closure ran (closures may mutate anything, so they
+	// invalidate everything). Together these are a compressed delta log:
+	// an observer holding SnapVersions can tell exactly which processes
+	// and whether any channel changed since it last synchronized.
+	verGlobal uint64
+	verNet    uint64
+	verNodes  []uint64
 }
 
 // instruments caches the simulator's obs handles. Every field is nil when
@@ -230,14 +289,20 @@ func New(cfg Config) *Sim {
 	}
 	c := cfg.withDefaults()
 	s := &Sim{
-		cfg:      c,
-		rng:      rand.New(rand.NewSource(c.Seed)),
-		nodes:    make([]tme.Node, c.N),
-		net:      channel.NewNet[tme.Message](c.N),
-		requests: make([]int, c.N),
-		relPend:  make([]bool, c.N),
-		metrics:  Metrics{MsgsByKind: make(map[tme.Kind]int)},
-		ins:      newInstruments(c.Obs),
+		cfg:       c,
+		rng:       rand.New(rand.NewSource(c.Seed)),
+		nodes:     make([]tme.Node, c.N),
+		net:       channel.NewNet[tme.Message](c.N),
+		requests:  make([]int, c.N),
+		relPend:   make([]bool, c.N),
+		verGlobal: 1,
+		verNodes:  make([]uint64, c.N),
+	}
+	s.ins = newInstruments(c.Obs)
+	if c.Workload && c.MaxRequests > 0 {
+		// One entry per granted request is the common shape; pre-sizing
+		// keeps append from reallocating on the hot path.
+		s.metrics.Entries = make([]Entry, 0, c.N*c.MaxRequests)
 	}
 	for i := range s.nodes {
 		s.nodes[i] = c.NewNode(i, c.N)
@@ -246,12 +311,12 @@ func New(cfg Config) *Sim {
 		s.wrappers = make([]wrapper.Level2, c.N)
 		for i := range s.wrappers {
 			s.wrappers[i] = wrapper.InstrumentLevel2(c.Obs, i, c.NewWrapper(i))
-			s.scheduleWrapperTick(i, 0)
+			s.schedule(0, evWrapperTick, int32(i), 0)
 		}
 	}
 	if c.Workload {
 		for i := 0; i < c.N; i++ {
-			s.scheduleClientTick(i, s.thinkTime())
+			s.schedule(s.thinkTime(), evClientTick, int32(i), 0)
 		}
 	}
 	return s
@@ -287,6 +352,17 @@ func (s *Sim) Obs() *obs.Obs { return s.cfg.Obs }
 // Stop ends the run after the current event.
 func (s *Sim) Stop() { s.stopped = true }
 
+// dirtyNode marks process i's spec-visible state as possibly changed.
+func (s *Sim) dirtyNode(i int) { s.verNodes[i]++ }
+
+// dirtyNet marks the channel contents as possibly changed.
+func (s *Sim) dirtyNet() { s.verNet++ }
+
+// dirtyAll invalidates every cached snapshot: an At-closure (fault
+// injection, tests) may have mutated any node or channel behind the
+// simulator's back.
+func (s *Sim) dirtyAll() { s.verGlobal++ }
+
 func (s *Sim) thinkTime() int64 {
 	return s.cfg.ThinkMin + s.rng.Int63n(s.cfg.ThinkMax-s.cfg.ThinkMin+1)
 }
@@ -295,14 +371,23 @@ func (s *Sim) delay() int64 {
 	return s.cfg.MinDelay + s.rng.Int63n(s.cfg.MaxDelay-s.cfg.MinDelay+1)
 }
 
+// schedule pushes a typed event after the given delay (relative to now).
+func (s *Sim) schedule(after int64, kind evKind, a, b int32) {
+	s.seq++
+	s.queue.push(event{time: s.now + after, seq: s.seq, kind: kind, a: a, b: b})
+}
+
 // At schedules fn at absolute virtual time t (clamped to now for past
-// times). Fault injectors and tests use it to place faults precisely.
+// times). Fault injectors and tests use it to place faults precisely. This
+// is the rare-path escape hatch: it allocates a closure and conservatively
+// invalidates incremental snapshots when it runs, so recurring occurrences
+// use typed events instead.
 func (s *Sim) At(t int64, fn func(s *Sim)) {
 	if t < s.now {
 		t = s.now
 	}
 	s.seq++
-	s.queue.push(event{time: t, seq: s.seq, act: fn})
+	s.queue.push(event{time: t, seq: s.seq, kind: evFunc, act: fn})
 }
 
 // send routes msgs into the network, scheduling deliveries. fromWrapper
@@ -313,8 +398,9 @@ func (s *Sim) send(msgs []tme.Message, fromWrapper bool) {
 			continue
 		}
 		s.net.Send(m.From, m.To, m)
-		s.metrics.MsgsByKind[m.Kind]++
+		s.dirtyNet()
 		slot := kindSlot(m.Kind)
+		s.metrics.kindCounts[slot]++
 		s.ins.byKind[slot].Inc()
 		if fromWrapper {
 			s.metrics.WrapperMsgs++
@@ -335,7 +421,7 @@ func (s *Sim) send(msgs []tme.Message, fromWrapper bool) {
 // given delay. The fault injector calls this when it duplicates a message,
 // so the extra copy has a delivery opportunity.
 func (s *Sim) ScheduleDelivery(ep channel.Endpoint, delay int64) {
-	s.At(s.now+delay, func(s *Sim) { s.deliver(ep) })
+	s.schedule(delay, evDeliver, int32(ep.Src), int32(ep.Dst))
 }
 
 // deliver pops the channel head (if any) into the destination node.
@@ -349,6 +435,8 @@ func (s *Sim) deliver(ep channel.Endpoint) {
 		s.ins.lost.Inc()
 		return // lost to a fault; the delivery opportunity passes
 	}
+	s.dirtyNet()
+	s.dirtyNode(ep.Dst)
 	s.metrics.Delivered++
 	s.ins.delivered.Inc()
 	s.ins.trace.Emit(obs.Event{Time: s.now, Kind: obs.EvDeliver, A: ep.Src, B: ep.Dst})
@@ -377,14 +465,9 @@ func (s *Sim) afterEventAt(i int) {
 		}
 		if s.cfg.Workload && !s.relPend[i] {
 			s.relPend[i] = true
-			s.At(s.now+s.cfg.EatTime, func(s *Sim) { s.release(i) })
+			s.schedule(s.cfg.EatTime, evRelease, int32(i), 0)
 		}
 	}
-}
-
-// scheduleClientTick arms the next closed-loop client action at node i.
-func (s *Sim) scheduleClientTick(i int, after int64) {
-	s.At(s.now+after, func(s *Sim) { s.clientTick(i) })
 }
 
 // runLevel1 executes the level-1 wrapper on node i, if configured. It is
@@ -395,6 +478,7 @@ func (s *Sim) scheduleClientTick(i int, after int64) {
 func (s *Sim) runLevel1(i int) {
 	if s.cfg.Level1 != nil {
 		if repaired, _ := s.cfg.Level1.CheckRepair(s.nodes[i]); repaired {
+			s.dirtyNode(i)
 			s.ins.repairs.Inc()
 			s.ins.trace.Emit(obs.Event{Time: s.now, Kind: obs.EvRepair, A: i, B: -1})
 		}
@@ -425,7 +509,7 @@ func (s *Sim) clientTick(i int) {
 		// Hungry (waiting on the algorithm) or an invalid phase (level-1
 		// wrapper territory): nothing for the client to do.
 	}
-	s.scheduleClientTick(i, s.thinkTime())
+	s.schedule(s.thinkTime(), evClientTick, int32(i), 0)
 }
 
 // doRequest performs the client "Request CS" action at node i if thinking.
@@ -433,6 +517,7 @@ func (s *Sim) doRequest(i int) {
 	if s.nodes[i].Phase() != tme.Thinking {
 		return
 	}
+	s.dirtyNode(i)
 	s.requests[i]++
 	s.metrics.Requests++
 	s.ins.requests.Inc()
@@ -446,6 +531,7 @@ func (s *Sim) release(i int) {
 	if s.nodes[i].Phase() != tme.Eating {
 		return // a fault moved the phase; nothing to release
 	}
+	s.dirtyNode(i)
 	s.metrics.Releases++
 	s.ins.releases.Inc()
 	s.send(s.nodes[i].ReleaseCS(), false)
@@ -454,24 +540,46 @@ func (s *Sim) release(i int) {
 
 // Request asks node i to request the CS now (manual workload control for
 // examples and tests). It is a no-op unless the node is thinking.
-func (s *Sim) Request(i int) { s.At(s.now, func(s *Sim) { s.doRequest(i) }) }
+func (s *Sim) Request(i int) { s.schedule(0, evRequest, int32(i), 0) }
 
 // Release asks node i to release the CS now.
-func (s *Sim) Release(i int) { s.At(s.now, func(s *Sim) { s.release(i) }) }
+func (s *Sim) Release(i int) { s.schedule(0, evRelease, int32(i), 0) }
 
-// scheduleWrapperTick arms node i's next wrapper timer event.
-func (s *Sim) scheduleWrapperTick(i int, after int64) {
-	s.At(s.now+after, func(s *Sim) {
-		s.runLevel1(i)
-		msgs := s.wrappers[i].Fire(s.now, s.nodes[i])
-		s.send(msgs, true)
-		s.scheduleWrapperTick(i, s.cfg.WrapperEvery)
-	})
+// wrapperTick fires node i's level-2 wrapper and re-arms the timer.
+func (s *Sim) wrapperTick(i int) {
+	s.runLevel1(i)
+	msgs := s.wrappers[i].Fire(s.now, s.nodes[i])
+	s.send(msgs, true)
+	s.schedule(s.cfg.WrapperEvery, evWrapperTick, int32(i), 0)
+}
+
+// dispatch executes one event record.
+func (s *Sim) dispatch(ev *event) {
+	switch ev.kind {
+	case evDeliver:
+		s.deliver(channel.Endpoint{Src: int(ev.a), Dst: int(ev.b)})
+	case evClientTick:
+		s.clientTick(int(ev.a))
+	case evWrapperTick:
+		s.wrapperTick(int(ev.a))
+	case evRequest:
+		s.doRequest(int(ev.a))
+	case evRelease:
+		s.release(int(ev.a))
+	default:
+		ev.act(s)
+		// The closure may have mutated any node or channel (fault
+		// injection does exactly that), so cached snapshots are stale.
+		s.dirtyAll()
+	}
 }
 
 // Run processes events until the queue drains, time exceeds horizon, or
 // Stop is called. It returns the number of events processed in this call.
 func (s *Sim) Run(horizon int64) int64 {
+	// State may have been mutated directly between Run calls (tests poke
+	// channels and nodes through Net and Node); invalidate snapshots once.
+	s.dirtyAll()
 	var n int64
 	for !s.stopped {
 		ev, ok := s.queue.peek()
@@ -480,7 +588,7 @@ func (s *Sim) Run(horizon int64) int64 {
 		}
 		s.queue.pop()
 		s.now = ev.time
-		ev.act(s)
+		s.dispatch(&ev)
 		s.metrics.Events++
 		s.ins.events.Inc()
 		n++
@@ -503,8 +611,8 @@ func (s *Sim) Snapshot() GlobalState {
 }
 
 // SnapshotInto fills g with the current global state, reusing g's slices.
-// Observers that snapshot on every event use two rotating buffers to avoid
-// per-event allocation (see lspec.Monitors.AsObserver).
+// Observers that snapshot on every event use SnapshotDeltaInto instead,
+// which skips the unchanged parts.
 func (s *Sim) SnapshotInto(g *GlobalState) {
 	g.Time = s.now
 	if cap(g.Nodes) < s.cfg.N {
@@ -514,6 +622,11 @@ func (s *Sim) SnapshotInto(g *GlobalState) {
 	for i, nd := range s.nodes {
 		tme.SnapshotInto(nd, &g.Nodes[i])
 	}
+	s.snapshotInFlight(g)
+}
+
+// snapshotInFlight rebuilds g.InFlight from the live channels.
+func (s *Sim) snapshotInFlight(g *GlobalState) {
 	g.InFlight = g.InFlight[:0]
 	for _, ep := range s.endpoints() {
 		q := s.net.Chan(ep.Src, ep.Dst)
@@ -521,6 +634,46 @@ func (s *Sim) SnapshotInto(g *GlobalState) {
 			g.InFlight = append(g.InFlight, q.At(i))
 		}
 	}
+}
+
+// SnapVersions records which state generation a GlobalState buffer
+// reflects, for SnapshotDeltaInto. The zero value means "never
+// synchronized" and forces a full rebuild on first use.
+type SnapVersions struct {
+	global uint64
+	net    uint64
+	nodes  []uint64
+}
+
+// SnapshotDeltaInto brings g — a buffer previously filled through v — up to
+// the current global state, re-snapshotting only the processes whose state
+// changed and rebuilding InFlight only if some channel was touched since
+// v's last synchronization. After an At-closure ran (fault injection),
+// everything is conservatively treated as changed. The result is
+// byte-identical to SnapshotInto; only the work is smaller.
+func (s *Sim) SnapshotDeltaInto(g *GlobalState, v *SnapVersions) {
+	g.Time = s.now
+	n := s.cfg.N
+	full := v.global != s.verGlobal || len(v.nodes) != n
+	if cap(g.Nodes) < n {
+		g.Nodes = make([]tme.SpecState, n)
+	}
+	g.Nodes = g.Nodes[:n]
+	if cap(v.nodes) < n {
+		v.nodes = make([]uint64, n)
+	}
+	v.nodes = v.nodes[:n]
+	for i, nd := range s.nodes {
+		if full || v.nodes[i] != s.verNodes[i] {
+			tme.SnapshotInto(nd, &g.Nodes[i])
+			v.nodes[i] = s.verNodes[i]
+		}
+	}
+	if full || v.net != s.verNet {
+		s.snapshotInFlight(g)
+		v.net = s.verNet
+	}
+	v.global = s.verGlobal
 }
 
 // endpoints caches the deterministic endpoint order.
@@ -576,6 +729,7 @@ func (h *eventHeap) pop() (event, bool) {
 	top := h.items[0]
 	last := len(h.items) - 1
 	h.items[0] = h.items[last]
+	h.items[last] = event{} // release the closure, if any, to the GC
 	h.items = h.items[:last]
 	i := 0
 	for {

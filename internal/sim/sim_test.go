@@ -69,7 +69,7 @@ func TestWorkloadRunRA(t *testing.T) {
 	if len(m.Entries) < m.Requests-4 {
 		t.Errorf("entries=%d far below requests=%d", len(m.Entries), m.Requests)
 	}
-	if m.MsgsByKind[tme.Request] == 0 || m.MsgsByKind[tme.Reply] == 0 {
+	if m.MsgsByKind(tme.Request) == 0 || m.MsgsByKind(tme.Reply) == 0 {
 		t.Error("expected request and reply traffic")
 	}
 }
@@ -81,7 +81,7 @@ func TestWorkloadRunLamport(t *testing.T) {
 	if len(m.Entries) == 0 {
 		t.Fatal("no CS entries")
 	}
-	if m.MsgsByKind[tme.Release] == 0 {
+	if m.MsgsByKind(tme.Release) == 0 {
 		t.Error("lamport run has no release messages")
 	}
 }

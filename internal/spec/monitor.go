@@ -83,8 +83,11 @@ func (m *invariantMonitor[S]) Observe(s S) *Violation {
 // trace end (liveness), so Observe never fails; callers inspect Pending
 // after the run has quiesced, or use Deadline-bounded variants in harnesses.
 type leadsToMonitor[S any] struct {
-	name       string
-	p, q       Predicate[S]
+	name string
+	p, q Predicate[S]
+	// selfNeg marks q ≡ ¬p (the "p is transient" shape), letting Observe
+	// evaluate p once per state instead of twice.
+	selfNeg    bool
 	idx        int
 	openSince  int // index of the earliest unmet p, -1 if none
 	open       int // number of distinct p-positions currently unmet
@@ -97,6 +100,13 @@ type LeadsToMonitor[S any] struct{ m leadsToMonitor[S] }
 // NewLeadsTo returns an online monitor for p ↦ q.
 func NewLeadsTo[S any](name string, p, q Predicate[S]) *LeadsToMonitor[S] {
 	return &LeadsToMonitor[S]{m: leadsToMonitor[S]{name: name, p: p, q: q, openSince: -1}}
+}
+
+// NewLeadsToNot returns an online monitor for p ↦ ¬p ("p is transient"),
+// equivalent to NewLeadsTo(name, p, Not(p)) but evaluating p once per
+// state — the shape of CS Spec and the Reply Spec discharge obligations.
+func NewLeadsToNot[S any](name string, p Predicate[S]) *LeadsToMonitor[S] {
+	return &LeadsToMonitor[S]{m: leadsToMonitor[S]{name: name, p: p, selfNeg: true, openSince: -1}}
 }
 
 // Name identifies the property.
@@ -116,12 +126,19 @@ func (l *LeadsToMonitor[S]) OpenSince() int { return l.m.openSince }
 func (l *LeadsToMonitor[S]) Observe(s S) *Violation {
 	m := &l.m
 	defer func() { m.idx++ }()
-	if m.q(s) {
+	pv := m.p(s)
+	var qv bool
+	if m.selfNeg {
+		qv = !pv
+	} else {
+		qv = m.q(s)
+	}
+	if qv {
 		m.discharged += m.open
 		m.open = 0
 		m.openSince = -1
 	}
-	if m.p(s) && !m.q(s) {
+	if pv && !qv {
 		if m.openSince == -1 {
 			m.openSince = m.idx
 		}

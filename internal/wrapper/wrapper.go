@@ -43,6 +43,11 @@ func W(v tme.SpecView) []tme.Message {
 		}
 		local, _ := v.LocalREQ(k)
 		if !req.Less(local) {
+			if msgs == nil {
+				// One allocation sized for the worst case; the guard being
+				// closed for every k keeps the common path allocation-free.
+				msgs = make([]tme.Message, 0, v.N()-1)
+			}
 			msgs = append(msgs, tme.Message{Kind: tme.Request, TS: req, From: v.ID(), To: k})
 		}
 	}
