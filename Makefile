@@ -3,15 +3,21 @@
 
 GO ?= go
 
-.PHONY: all build test race test-race cover bench bench-baseline bench-compare experiments examples fuzz clean
+.PHONY: all build lint test race test-race cover bench bench-baseline bench-compare experiments examples fuzz clean
 
-all: build test
+all: build test test-race
 
 build:
 	$(GO) build ./...
 
-test:
+# Static analysis: go vet plus the repo's own analyzer (layering,
+# determinism, hot-path allocation, and obs discipline — see
+# DESIGN.md "Static guarantees").
+lint:
 	$(GO) vet ./...
+	$(GO) run ./cmd/gblint ./...
+
+test: lint
 	$(GO) test ./...
 
 race:

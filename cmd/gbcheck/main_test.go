@@ -239,3 +239,55 @@ func TestUsageErrors(t *testing.T) {
 		}
 	}
 }
+
+// TestParseProblemErrorMessages pins the parser's diagnostics: each
+// malformed input must fail with a message naming the offending line and
+// construct, so a user can fix a model file from the error alone.
+func TestParseProblemErrorMessages(t *testing.T) {
+	cases := []struct {
+		name, input, wantErr string
+	}{
+		{"empty file", "", "missing 'states'"},
+		{"comment-only file", "# a model with\n# no directives\n\n", "missing 'states'"},
+		{"states arity", "states 1 2\n", "line 1: states wants one number"},
+		{"states not a number", "states x\n", `line 1: bad number "x"`},
+		{"negative states", "states -1\n", "missing 'states'"},
+		{"edge arity low", "states 2\ninit 0\nedge 0\n", "line 3: edge wants two numbers"},
+		{"edge arity high", "states 2\ninit 0\nedge 0 1 2\n", "line 3: edge wants two numbers"},
+		{"edge bad number", "states 2\nedge 0 x\n", `line 2: bad number "x"`},
+		{"edge out of range", "states 2\ninit 0\nedge 0 1\nedge 1 5\n", "state 5 out of range [0,2)"},
+		{"init out of range", "states 1\ninit 3\nedge 0 0\n", "initial state 3 out of range [0,1)"},
+		{"no init", "states 1\nedge 0 0\n", "no initial state"},
+		{"not total", "states 2\ninit 0\nedge 0 1\n", "not total"},
+		{"fault arity", "states 2\ninit 0\nedge 0 0\nedge 1 1\nfault 0\n", "line 5: fault wants two numbers"},
+		{"fault out of range", "states 1\ninit 0\nedge 0 0\nfault 0 9\n", "fault 0->9 out of range [0,1)"},
+		{"bad out of range", "states 1\ninit 0\nedge 0 0\nbad 9\n", "bad state 9 out of range [0,1)"},
+		{"bad not a number", "states 1\ninit 0\nedge 0 0\nbad x\n", `line 4: bad number "x"`},
+		{"unknown directive", "states 1\ninit 0\nedge 0 0\nfrob 1\n", `line 4: unknown directive "frob"`},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := parseProblem(strings.NewReader(c.input), "t")
+			if err == nil {
+				t.Fatalf("accepted %q", c.input)
+			}
+			if !strings.Contains(err.Error(), c.wantErr) {
+				t.Errorf("error %q does not contain %q", err, c.wantErr)
+			}
+		})
+	}
+}
+
+// TestParseProblemTrailingComments checks '#' stripping on directive
+// lines and that a file ending without a newline still parses.
+func TestParseProblemTrailingComments(t *testing.T) {
+	text := "states 2 # two states\ninit 0 # start\nedge 0 1\nedge 1 0\nfault 0 1 # burst\nbad 1 # unsafe"
+	p, err := parseProblem(strings.NewReader(text), "t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Spec.NumStates() != 2 || len(p.Faults) != 1 || !p.Bad[1] {
+		t.Errorf("parsed problem wrong: states=%d faults=%v bad=%v",
+			p.Spec.NumStates(), p.Faults, p.Bad)
+	}
+}

@@ -1,0 +1,63 @@
+// Command gblint is the repository's graybox-aware static analyzer. It
+// enforces the conventions the codebase's correctness arguments lean on:
+// the graybox layering rule (wrappers and specs never import protocol
+// internals), the simulator's determinism contract, allocation discipline
+// in //gblint:hotpath functions, and observability API discipline. See
+// internal/lint for the passes and DESIGN.md "Static guarantees" for the
+// architecture they encode.
+//
+// Usage:
+//
+//	gblint [-pass layering,determinism,hotpath,obs] [packages]
+//
+// Packages default to ./... and use the go tool's pattern syntax. The
+// exit status is 1 when any finding is reported. Suppress a finding with
+// a //gblint:ignore <pass> comment on, or directly above, its line.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"github.com/graybox-stabilization/graybox/internal/lint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, out, errOut io.Writer) int {
+	fs := flag.NewFlagSet("gblint", flag.ContinueOnError)
+	fs.SetOutput(errOut)
+	passes := fs.String("pass", "", "comma-separated pass subset (default: all of layering,determinism,hotpath,obs)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	cfg := lint.DefaultConfig()
+	if *passes != "" {
+		cfg.Passes = strings.Split(*passes, ",")
+	}
+	diags, err := lint.Run(".", fs.Args(), cfg)
+	if err != nil {
+		fmt.Fprintln(errOut, "gblint:", err)
+		return 2
+	}
+	if len(diags) == 0 {
+		return 0
+	}
+	wd, _ := os.Getwd()
+	for _, d := range diags {
+		if wd != "" {
+			if rel, err := filepath.Rel(wd, d.Pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
+				d.Pos.Filename = rel
+			}
+		}
+		fmt.Fprintln(out, d)
+	}
+	fmt.Fprintf(errOut, "gblint: %d finding(s)\n", len(diags))
+	return 1
+}

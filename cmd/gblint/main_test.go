@@ -1,0 +1,68 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestCleanPackage lints this package itself: exit 0, no output.
+func TestCleanPackage(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"."}, &out, &errOut); code != 0 {
+		t.Fatalf("exit %d on clean package\nstdout: %s\nstderr: %s", code, out.String(), errOut.String())
+	}
+	if out.Len() != 0 {
+		t.Errorf("unexpected output on clean package: %s", out.String())
+	}
+}
+
+// TestFindings runs the CLI end-to-end over testdata/badmod, a compiling
+// module whose sim package reads the wall clock: exit 1 and a determinism
+// diagnostic naming the offending file.
+func TestFindings(t *testing.T) {
+	t.Chdir("testdata/badmod")
+	var out, errOut bytes.Buffer
+	if code := run([]string{"./..."}, &out, &errOut); code != 1 {
+		t.Fatalf("exit %d, want 1\nstdout: %s\nstderr: %s", code, out.String(), errOut.String())
+	}
+	got := out.String()
+	if !strings.Contains(got, "[determinism]") || !strings.Contains(got, "time.Now") {
+		t.Errorf("missing determinism finding in output:\n%s", got)
+	}
+	if !strings.Contains(got, "internal/sim/sim.go") {
+		t.Errorf("finding does not name the offending file:\n%s", got)
+	}
+	if !strings.Contains(errOut.String(), "1 finding(s)") {
+		t.Errorf("missing findings summary on stderr: %s", errOut.String())
+	}
+}
+
+// TestPassSelection checks -pass subsets the run: with only the layering
+// pass selected, badmod's wall-clock read goes unreported.
+func TestPassSelection(t *testing.T) {
+	t.Chdir("testdata/badmod")
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-pass", "layering", "./..."}, &out, &errOut); code != 0 {
+		t.Fatalf("exit %d, want 0\nstdout: %s\nstderr: %s", code, out.String(), errOut.String())
+	}
+}
+
+// TestBadFlag checks flag errors exit 2, distinct from findings.
+func TestBadFlag(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-no-such-flag"}, &out, &errOut); code != 2 {
+		t.Fatalf("exit %d, want 2", code)
+	}
+}
+
+// TestBadPattern checks go-list failures exit 2 with the error surfaced.
+func TestBadPattern(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"./no/such/dir/..."}, &out, &errOut); code != 2 {
+		t.Fatalf("exit %d, want 2\nstderr: %s", code, errOut.String())
+	}
+	if !strings.Contains(errOut.String(), "gblint:") {
+		t.Errorf("missing error on stderr: %s", errOut.String())
+	}
+}

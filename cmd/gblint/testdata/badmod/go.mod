@@ -1,0 +1,3 @@
+module example.com/badmod
+
+go 1.22

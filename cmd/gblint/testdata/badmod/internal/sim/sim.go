@@ -1,0 +1,12 @@
+// Package sim is gblint's end-to-end CLI fixture: a compiling module
+// whose one package sits in the determinism scope and reads the wall
+// clock.
+package sim
+
+import "time"
+
+// Now leaks wall-clock time into a package under the determinism
+// contract.
+func Now() int64 {
+	return time.Now().UnixNano()
+}

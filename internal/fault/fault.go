@@ -315,8 +315,13 @@ func (in *Injector) RandomCorruption(id, n int) tme.Corruption {
 func DropAllInFlight(s *sim.Sim) {
 	s.Net().ClearAll()
 	if o := s.Obs(); o != nil {
-		o.Registry().Counter("fault_flush_total", "channel flushes").Inc()
-		o.Registry().Counter("fault_injected_total", "faults injected").Inc()
+		// Registration is owned by bind (each metric name has exactly one
+		// registration site); a throwaway injector reuses those instruments
+		// through the registry's idempotent lookup.
+		var in Injector
+		in.bind(s)
+		in.cByKind[ChannelFlush].Inc()
+		in.cFaults.Inc()
 		o.Convergence().RecordFault(s.Now())
 		o.Tracer().Emit(obs.Event{
 			Time: s.Now(), Kind: obs.EvFault, A: -1, B: -1, Detail: "drop-all-in-flight",

@@ -1,0 +1,140 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// hotpathPass enforces allocation discipline inside functions marked
+// //gblint:hotpath (in the function's doc comment). The markers sit on
+// the simulator's event-dispatch path and the incremental monitor path —
+// the code whose allocs/op the benchmark gate holds near zero. Flagged:
+//
+//   - closure literals (each one the compiler cannot prove non-escaping
+//     allocates, and even stack-allocated ones add indirection);
+//   - fmt formatting calls (Config.HotFmtFuncs) — they allocate for the
+//     result and box every argument;
+//   - interface-boxing conversions: passing a concrete value to an
+//     interface parameter or converting it to an interface type.
+//
+// Boxing detection needs type information; without it only the syntactic
+// checks run.
+type hotpathPass struct{}
+
+func (hotpathPass) Name() string { return PassHotpath }
+
+func (hotpathPass) Check(cfg *Config, pkg *Package, report Reporter) {
+	for _, f := range pkg.Files {
+		imports := fileImports(f)
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || !isHotpath(fd) || fd.Body == nil {
+				continue
+			}
+			name := fd.Name.Name
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.FuncLit:
+					report(n.Pos(), "closure literal in hotpath function %s: hot-path occurrences are typed event records, not closures", name)
+				case *ast.CallExpr:
+					checkHotCall(cfg, pkg, imports, name, n, report)
+				}
+				return true
+			})
+		}
+	}
+}
+
+func isHotpath(fd *ast.FuncDecl) bool {
+	if fd.Doc == nil {
+		return false
+	}
+	for _, c := range fd.Doc.List {
+		if _, ok := directive(c.Text, "hotpath"); ok {
+			return true
+		}
+	}
+	return false
+}
+
+func checkHotCall(cfg *Config, pkg *Package, imports map[string]string, fn string, call *ast.CallExpr, report Reporter) {
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+		if path, ok := selectorPackage(pkg, imports, sel); ok && path == "fmt" &&
+			containsStr(cfg.HotFmtFuncs, sel.Sel.Name) {
+			report(call.Pos(), "fmt.%s in hotpath function %s allocates (formatting plus argument boxing)", sel.Sel.Name, fn)
+			return
+		}
+	}
+	tv, ok := pkg.Info.Types[call.Fun]
+	if !ok || tv.Type == nil {
+		return
+	}
+	if tv.IsType() {
+		// Explicit conversion T(x): boxing when T is an interface.
+		if types.IsInterface(tv.Type) && len(call.Args) == 1 && boxes(pkg, call.Args[0]) {
+			report(call.Pos(), "conversion to %s in hotpath function %s boxes a concrete value into an interface", tv.Type.String(), fn)
+		}
+		return
+	}
+	sig, ok := tv.Type.Underlying().(*types.Signature)
+	if !ok {
+		return // builtin or untypeable
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if call.Ellipsis.IsValid() {
+				continue // slice passed through, no per-element boxing
+			}
+			slice, ok := params.At(params.Len() - 1).Type().(*types.Slice)
+			if !ok {
+				continue
+			}
+			pt = slice.Elem()
+		case i < params.Len():
+			pt = params.At(i).Type()
+		default:
+			continue
+		}
+		if isBoxingParam(pt) && boxes(pkg, arg) {
+			report(arg.Pos(), "argument boxes %s into %s in hotpath function %s",
+				typeString(pkg, arg), pt.String(), fn)
+		}
+	}
+}
+
+// isBoxingParam reports whether passing a concrete value for a parameter
+// of type pt allocates: pt is an interface (but not a type parameter,
+// which instantiates concretely).
+func isBoxingParam(pt types.Type) bool {
+	if _, isTP := pt.(*types.TypeParam); isTP {
+		return false
+	}
+	return types.IsInterface(pt)
+}
+
+// boxes reports whether arg is a concrete (non-interface, non-nil) value,
+// i.e. converting it to an interface stores it in a new allocation.
+func boxes(pkg *Package, arg ast.Expr) bool {
+	tv, ok := pkg.Info.Types[arg]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	t := tv.Type
+	if b, ok := t.(*types.Basic); ok && b.Kind() == types.UntypedNil {
+		return false
+	}
+	if _, isTP := t.(*types.TypeParam); isTP {
+		return false
+	}
+	return !types.IsInterface(t)
+}
+
+func typeString(pkg *Package, e ast.Expr) string {
+	if tv, ok := pkg.Info.Types[e]; ok && tv.Type != nil {
+		return tv.Type.String()
+	}
+	return "value"
+}

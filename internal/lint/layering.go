@@ -1,0 +1,39 @@
+package lint
+
+import "strings"
+
+// layeringPass enforces the import DAG of Config.Layering: the graybox
+// rule as an architecture check. Wrappers and specs see protocols only
+// through local everywhere specifications, so their packages must not
+// import protocol implementations; protocols must not depend back on the
+// wrapper or simulator layers; observability stays a leaf. The pass is
+// purely syntactic — it reads import declarations, no type information.
+type layeringPass struct{}
+
+func (layeringPass) Name() string { return PassLayering }
+
+func (layeringPass) Check(cfg *Config, pkg *Package, report Reporter) {
+	for _, rule := range cfg.Layering {
+		if !matchPath(rule.Scope, pkg.Path) {
+			continue
+		}
+		for _, f := range pkg.Files {
+			for _, imp := range f.Imports {
+				path := strings.Trim(imp.Path.Value, `"`)
+				for _, deny := range rule.Deny {
+					denied := false
+					if deny == DenyModule {
+						denied = inModule(path, cfg.Module)
+					} else {
+						denied = matchPath(deny, path)
+					}
+					if denied {
+						report(imp.Pos(), "%s must not import %s: %s",
+							rule.Scope, path, rule.Reason)
+						break
+					}
+				}
+			}
+		}
+	}
+}

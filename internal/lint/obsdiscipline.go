@@ -1,0 +1,366 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// obsPass enforces the observability subsystem's two API contracts:
+//
+//  1. Nil-receiver no-op discipline. Instruments are pointers whose
+//     methods are documented no-ops on a nil receiver, so disabled
+//     observability costs nothing at call sites. The contract is
+//     type-level: once any exported pointer-receiver method of a type
+//     guards `if x == nil`, every exported pointer-receiver method of
+//     that type must be nil-safe — either by guarding before it touches
+//     the receiver, or by only calling other nil-safe methods on it
+//     (method calls on a nil pointer are legal; dereferences are not).
+//     A single unguarded method is a latent panic on the disabled path.
+//
+//  2. Single registration. Every metric name is registered (via
+//     Registry.Counter/Gauge/Histogram with a literal name) at exactly
+//     one call site across the repository, so two subsystems cannot
+//     silently collide on a name. Registration is idempotent at runtime;
+//     this check keeps the *source* authoritative about who owns a name.
+//     Dynamically built names (non-literal first argument) are exempt.
+//
+// Check 1 runs on the package matching Config.ObsPackage; check 2
+// aggregates call sites across every linted package and reports in
+// Finish.
+type obsPass struct {
+	// regs maps metric name -> registration call sites, across packages.
+	regs map[string][]token.Pos
+}
+
+func newObsPass() *obsPass { return &obsPass{regs: map[string][]token.Pos{}} }
+
+func (*obsPass) Name() string { return PassObs }
+
+func (p *obsPass) Check(cfg *Config, pkg *Package, report Reporter) {
+	if matchPath(cfg.ObsPackage, pkg.Path) {
+		checkNilGuards(pkg, report)
+	}
+	p.collectRegistrations(cfg, pkg)
+}
+
+// --- check 1: nil-receiver discipline ---
+
+// method is the analysis record for one pointer-receiver method.
+type method struct {
+	decl     *ast.FuncDecl
+	typeName string
+	recvObj  types.Object // receiver variable, nil without type info
+	recvName string
+	// guarded: a top-level `if recv == nil { return }` appears before
+	// any statement that uses the receiver.
+	guarded bool
+	// calls are the names of same-type methods invoked directly on the
+	// receiver; other receiver uses set deref.
+	calls []string
+	deref bool
+}
+
+func checkNilGuards(pkg *Package, report Reporter) {
+	byType := map[string][]*method{}
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Recv == nil || fd.Body == nil || len(fd.Recv.List) != 1 {
+				continue
+			}
+			star, ok := fd.Recv.List[0].Type.(*ast.StarExpr)
+			if !ok {
+				continue // value receiver: cannot be nil
+			}
+			tn, ok := receiverTypeName(star.X)
+			if !ok {
+				continue
+			}
+			m := &method{decl: fd, typeName: tn}
+			if names := fd.Recv.List[0].Names; len(names) == 1 && names[0].Name != "_" {
+				m.recvName = names[0].Name
+				m.recvObj = pkg.Info.Defs[names[0]]
+			}
+			m.analyze(pkg)
+			byType[tn] = append(byType[tn], m)
+		}
+	}
+	for _, ms := range byType {
+		// The nil-safety contract is claimed by any guarded exported
+		// method.
+		claimed := false
+		for _, m := range ms {
+			if m.guarded && m.decl.Name.IsExported() {
+				claimed = true
+				break
+			}
+		}
+		if !claimed {
+			continue
+		}
+		safe := nilSafeFixpoint(ms)
+		for _, m := range ms {
+			if !m.decl.Name.IsExported() || safe[m.decl.Name.Name] {
+				continue
+			}
+			report(m.decl.Name.Pos(),
+				"(*%s).%s dereferences its receiver without a nil guard, but other %s methods promise nil-receiver no-op behavior",
+				m.typeName, m.decl.Name.Name, m.typeName)
+		}
+	}
+}
+
+func receiverTypeName(e ast.Expr) (string, bool) {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name, true
+	case *ast.IndexExpr: // generic receiver T[P]
+		return receiverTypeName(e.X)
+	case *ast.IndexListExpr:
+		return receiverTypeName(e.X)
+	}
+	return "", false
+}
+
+// analyze fills guarded, calls, and deref.
+func (m *method) analyze(pkg *Package) {
+	if m.recvName == "" {
+		return // receiver unused: trivially safe
+	}
+	// Guard placement: scan top-level statements in order; the guard
+	// must come before the first statement that touches the receiver.
+	for _, stmt := range m.decl.Body.List {
+		if isNilGuard(stmt, m.recvName, m.recvObj, pkg) {
+			m.guarded = true
+			break
+		}
+		if usesIdent(stmt, m.recvName, m.recvObj, pkg) {
+			break
+		}
+	}
+	if m.guarded {
+		return
+	}
+	// Unguarded: classify every receiver use. Method calls on the
+	// receiver are legal on nil pointers (deferred to the fixpoint);
+	// nil comparisons are benign; anything else is a potential deref.
+	parents := map[ast.Node]ast.Node{}
+	var stack []ast.Node
+	ast.Inspect(m.decl.Body, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		if len(stack) > 0 {
+			parents[n] = stack[len(stack)-1]
+		}
+		stack = append(stack, n)
+		return true
+	})
+	ast.Inspect(m.decl.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok || !m.isRecv(id, pkg) {
+			return true
+		}
+		switch parent := parents[id].(type) {
+		case *ast.BinaryExpr:
+			if (parent.Op == token.EQL || parent.Op == token.NEQ) &&
+				(isNilIdent(parent.X) || isNilIdent(parent.Y)) {
+				return true // nil comparison
+			}
+		case *ast.SelectorExpr:
+			if parent.X == id {
+				if call, ok := parents[parent].(*ast.CallExpr); ok && call.Fun == parent {
+					m.calls = append(m.calls, parent.Sel.Name)
+					return true
+				}
+			}
+		}
+		m.deref = true
+		return true
+	})
+}
+
+func (m *method) isRecv(id *ast.Ident, pkg *Package) bool {
+	if id.Name != m.recvName {
+		return false
+	}
+	if m.recvObj != nil {
+		return pkg.Info.Uses[id] == m.recvObj
+	}
+	return true // no type info: match by name (shadowing is tolerated noise)
+}
+
+// isNilGuard matches `if recv == nil { ...return }` including guards with
+// extra "||" disjuncts (`if c == nil || d < 0 { return }`).
+func isNilGuard(stmt ast.Stmt, recvName string, recvObj types.Object, pkg *Package) bool {
+	ifs, ok := stmt.(*ast.IfStmt)
+	if !ok || ifs.Init != nil || ifs.Body == nil || len(ifs.Body.List) == 0 {
+		return false
+	}
+	if _, ok := ifs.Body.List[len(ifs.Body.List)-1].(*ast.ReturnStmt); !ok {
+		return false
+	}
+	return condHasNilCheck(ifs.Cond, recvName, recvObj, pkg)
+}
+
+func condHasNilCheck(e ast.Expr, recvName string, recvObj types.Object, pkg *Package) bool {
+	switch e := e.(type) {
+	case *ast.BinaryExpr:
+		if e.Op == token.LOR {
+			return condHasNilCheck(e.X, recvName, recvObj, pkg) ||
+				condHasNilCheck(e.Y, recvName, recvObj, pkg)
+		}
+		if e.Op != token.EQL {
+			return false
+		}
+		return (isRecvIdent(e.X, recvName, recvObj, pkg) && isNilIdent(e.Y)) ||
+			(isRecvIdent(e.Y, recvName, recvObj, pkg) && isNilIdent(e.X))
+	case *ast.ParenExpr:
+		return condHasNilCheck(e.X, recvName, recvObj, pkg)
+	}
+	return false
+}
+
+func isRecvIdent(e ast.Expr, recvName string, recvObj types.Object, pkg *Package) bool {
+	id, ok := e.(*ast.Ident)
+	if !ok || id.Name != recvName {
+		return false
+	}
+	if recvObj != nil {
+		return pkg.Info.Uses[id] == recvObj
+	}
+	return true
+}
+
+func isNilIdent(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "nil"
+}
+
+func usesIdent(n ast.Node, name string, obj types.Object, pkg *Package) bool {
+	found := false
+	ast.Inspect(n, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && id.Name == name {
+			if obj == nil || pkg.Info.Uses[id] == obj {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// nilSafeFixpoint computes which methods are nil-safe: guarded methods
+// are, and a method whose receiver uses are only calls to nil-safe
+// methods (no dereferences) inherits safety. Cycles of unguarded methods
+// stay unsafe.
+func nilSafeFixpoint(ms []*method) map[string]bool {
+	safe := map[string]bool{}
+	byName := map[string]*method{}
+	for _, m := range ms {
+		byName[m.decl.Name.Name] = m
+		if m.guarded || m.recvName == "" {
+			safe[m.decl.Name.Name] = true
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, m := range ms {
+			name := m.decl.Name.Name
+			if safe[name] || m.deref {
+				continue
+			}
+			ok := true
+			for _, callee := range m.calls {
+				if _, known := byName[callee]; !known {
+					// Promoted/embedded or interface method: assume the
+					// worst.
+					ok = false
+					break
+				}
+				if !safe[callee] {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				safe[name] = true
+				changed = true
+			}
+		}
+	}
+	return safe
+}
+
+// --- check 2: single metric registration ---
+
+var registryMethods = map[string]bool{"Counter": true, "Gauge": true, "Histogram": true}
+
+// collectRegistrations records literal-name Registry.Counter/Gauge/
+// Histogram call sites. Receiver identification requires type info (a
+// *Registry of the obs package); without it the call is skipped, so
+// snapshot readers with the same method names never false-positive.
+func (p *obsPass) collectRegistrations(cfg *Config, pkg *Package) {
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) < 1 {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok || !registryMethods[sel.Sel.Name] {
+				return true
+			}
+			lit, ok := call.Args[0].(*ast.BasicLit)
+			if !ok || lit.Kind != token.STRING {
+				return true
+			}
+			obj, ok := pkg.Info.Uses[sel.Sel].(*types.Func)
+			if !ok {
+				return true
+			}
+			sig, ok := obj.Type().(*types.Signature)
+			if !ok || sig.Recv() == nil {
+				return true
+			}
+			named := namedOf(sig.Recv().Type())
+			if named == nil || named.Obj().Name() != "Registry" ||
+				named.Obj().Pkg() == nil || !matchPath(cfg.ObsPackage, named.Obj().Pkg().Path()) {
+				return true
+			}
+			name := lit.Value[1 : len(lit.Value)-1]
+			p.regs[name] = append(p.regs[name], lit.Pos())
+			return true
+		})
+	}
+}
+
+func namedOf(t types.Type) *types.Named {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	n, _ := t.(*types.Named)
+	return n
+}
+
+// Finish reports metric names registered at more than one call site.
+func (p *obsPass) Finish(cfg *Config, report Reporter) {
+	names := make([]string, 0, len(p.regs))
+	for n := range p.regs {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		sites := p.regs[n]
+		if len(sites) < 2 {
+			continue
+		}
+		sort.Slice(sites, func(i, j int) bool { return sites[i] < sites[j] })
+		for _, pos := range sites[1:] {
+			report(pos, "metric %q is registered at %d call sites: register each name exactly once and share the instrument", n, len(sites))
+		}
+	}
+}

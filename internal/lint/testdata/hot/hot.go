@@ -1,0 +1,46 @@
+// Package hot is a hotpath-pass fixture: allocation discipline inside
+// //gblint:hotpath functions. Closures, fmt formatting, and interface
+// boxing are flagged in marked functions and ignored in unmarked ones.
+package hot
+
+import "fmt"
+
+func sink(v any) { _ = v }
+
+// Dispatch is marked hot and commits each violation once.
+//
+//gblint:hotpath
+func Dispatch(vals []int) func() int {
+	fn := func() int { return len(vals) } // want:hotpath "closure literal"
+	_ = fmt.Sprintf("%d", len(vals))      // want:hotpath "fmt.Sprintf"
+	sink(len(vals))                       // want:hotpath "boxes"
+	_ = any(len(vals))                    // want:hotpath "boxes a concrete value"
+	return fn
+}
+
+// DispatchSuppressed is the ignore-directive twin of Dispatch.
+//
+//gblint:hotpath
+func DispatchSuppressed(vals []int) {
+	//gblint:ignore hotpath fixture: sanctioned closure
+	fn := func() int { return len(vals) }
+	_ = fn()
+	_ = fmt.Sprintf("%d", len(vals)) //gblint:ignore hotpath fixture: sanctioned formatting
+}
+
+// DispatchClean is marked hot but allocation-free: no findings.
+//
+//gblint:hotpath
+func DispatchClean(vals []int) int {
+	total := 0
+	for _, v := range vals {
+		total += v
+	}
+	return total
+}
+
+// Cold is unmarked, so formatting and closures are fine here.
+func Cold(vals []int) string {
+	fn := func() int { return len(vals) }
+	return fmt.Sprintf("%d", fn())
+}

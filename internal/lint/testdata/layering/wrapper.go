@@ -1,0 +1,12 @@
+// Package wrapper is a layering-pass fixture. It stands in for the
+// spec/wrapper layer, which the graybox rule forbids from importing
+// protocol implementations.
+package wrapper
+
+import (
+	_ "example.com/fix/internal/lspec"
+	_ "example.com/fix/internal/ra" // want:layering "must not import"
+
+	//gblint:ignore layering fixture: the suppressed twin of the ra import
+	_ "example.com/fix/internal/tokenring"
+)

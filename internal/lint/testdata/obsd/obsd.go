@@ -1,0 +1,94 @@
+// Package obs is an obs-pass fixture covering both contracts: the
+// nil-receiver no-op discipline of instrument types and single-site
+// metric registration. Its import path matches Config.ObsPackage, and the
+// leaf rule of the layering table applies to it too.
+package obs
+
+import (
+	_ "example.com/fix/internal/sim" // want:layering "may depend on nothing"
+)
+
+// Counter promises nil-receiver no-op behavior: Inc anchors the claim.
+type Counter struct{ n int64 }
+
+// Inc is guarded, establishing the type's nil-safety contract.
+func (c *Counter) Inc() {
+	if c == nil {
+		return
+	}
+	c.n++
+}
+
+// Add dereferences without a guard: a latent panic on the disabled path.
+func (c *Counter) Add(d int64) { // want:obs "without a nil guard"
+	c.n += d
+}
+
+// Twice inherits nil-safety by only calling nil-safe methods.
+func (c *Counter) Twice() {
+	c.Inc()
+	c.Inc()
+}
+
+// Value compares the receiver against nil before any dereference.
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.n
+}
+
+// Gauge also claims nil-safety but suppresses its known-unsafe method.
+type Gauge struct{ v int64 }
+
+// Get anchors Gauge's nil-safety claim.
+func (g *Gauge) Get() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v
+}
+
+// Set is the ignore-directive twin of Counter.Add.
+//
+//gblint:ignore obs fixture: acknowledged unguarded method
+func (g *Gauge) Set(v int64) { g.v = v }
+
+// raw makes no nil-safety claim (no guarded exported method), so its
+// unguarded methods are fine.
+type raw struct{ n int64 }
+
+func (r *raw) bump() { r.n++ }
+
+// Registry registers instruments by name; it makes no nil-safety claim.
+type Registry struct{ counters map[string]*Counter }
+
+// Counter returns the named counter, registering it on first use.
+func (r *Registry) Counter(name, help string) *Counter {
+	_ = help
+	if c, ok := r.counters[name]; ok {
+		return c
+	}
+	if r.counters == nil {
+		r.counters = map[string]*Counter{}
+	}
+	c := &Counter{}
+	r.counters[name] = c
+	return c
+}
+
+// Wire registers the fixture's metrics.
+func Wire(r *Registry) {
+	once := r.Counter("fix_ok_total", "registered once: fine")
+	dup1 := r.Counter("fix_dup_total", "first site")
+	dup2 := r.Counter("fix_dup_total", "second site") // want:obs "registered at 2 call sites"
+	sup1 := r.Counter("fix_sup_total", "first site")
+	//gblint:ignore obs fixture: this duplicate is sanctioned
+	sup2 := r.Counter("fix_sup_total", "second site")
+	_, _, _, _, _ = once, dup1, dup2, sup1, sup2
+}
+
+// WireDynamic builds names at runtime: exempt from the single-site rule.
+func WireDynamic(r *Registry, suffix string) *Counter {
+	return r.Counter("fix_dyn_"+suffix, "dynamic name")
+}

@@ -238,6 +238,8 @@ func InvariantI(g sim.GlobalState) bool {
 }
 
 // Observe feeds the next snapshot to all monitors.
+//
+//gblint:hotpath
 func (m *Monitors) Observe(g sim.GlobalState) {
 	before := len(m.suite.Violations())
 	m.suite.Observe(g)
@@ -465,6 +467,7 @@ type monotoneTS struct {
 func (mt *monotoneTS) Name() string { return mt.name }
 func (mt *monotoneTS) Pending() int { return 0 }
 
+//gblint:hotpath
 func (mt *monotoneTS) Observe(g sim.GlobalState) *spec.Violation {
 	cur := &g.Nodes[mt.j]
 	prevTS, prevHas, first := mt.lastTS, mt.lastHasTS, !mt.have
@@ -473,6 +476,7 @@ func (mt *monotoneTS) Observe(g sim.GlobalState) *spec.Violation {
 		return nil
 	}
 	if cur.TS.Less(prevTS) {
+		//gblint:ignore hotpath violation path is cold; formatting only on failure
 		return &spec.Violation{Op: "timestamp", Detail: fmt.Sprintf(
 			"%s: ts regressed from %s to %s", mt.name, prevTS, cur.TS)}
 	}
@@ -493,6 +497,7 @@ type stableREQ struct {
 func (sr *stableREQ) Name() string { return sr.name }
 func (sr *stableREQ) Pending() int { return 0 }
 
+//gblint:hotpath
 func (sr *stableREQ) Observe(g sim.GlobalState) *spec.Violation {
 	cur := &g.Nodes[sr.j]
 	prevPhase, prevREQ, first := sr.lastPhase, sr.lastREQ, !sr.have
@@ -501,6 +506,7 @@ func (sr *stableREQ) Observe(g sim.GlobalState) *spec.Violation {
 		return nil
 	}
 	if prevPhase == tme.Hungry && cur.Phase == tme.Hungry && prevREQ != cur.REQ {
+		//gblint:ignore hotpath violation path is cold; formatting only on failure
 		return &spec.Violation{Op: "request", Detail: fmt.Sprintf(
 			"%s: REQ changed from %s to %s while hungry", sr.name, prevREQ, cur.REQ)}
 	}

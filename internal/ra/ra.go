@@ -106,6 +106,8 @@ func (nd *Node) RequestCS() []tme.Message {
 // ReleaseCS performs the "Release CS" action: when eating, send the deferred
 // replies, clear the received flags, reset REQ_j to the most current event's
 // timestamp, and return to thinking. It is a no-op in any other phase.
+//
+//gblint:hotpath
 func (nd *Node) ReleaseCS() []tme.Message {
 	if nd.phase != tme.Eating {
 		return nil
@@ -133,6 +135,8 @@ func (nd *Node) ReleaseCS() []tme.Message {
 // Deliver handles one incoming message and returns the responses to send.
 // Unknown kinds and out-of-range senders are dropped (they can only arise
 // from message-corruption faults).
+//
+//gblint:hotpath
 func (nd *Node) Deliver(m tme.Message) []tme.Message {
 	k := m.From
 	if k < 0 || k >= nd.n || k == nd.id {
@@ -182,6 +186,8 @@ func (nd *Node) receiveReply(k int, ts ltime.Timestamp) {
 // Step attempts the "Grant CS" internal action (CS Entry Spec): a hungry
 // process whose request precedes every local copy enters the critical
 // section.
+//
+//gblint:hotpath
 func (nd *Node) Step() (entered bool, msgs []tme.Message) {
 	if nd.phase != tme.Hungry {
 		return false, nil

@@ -172,6 +172,7 @@ func (c *Cluster) Start() {
 	for _, p := range c.procs {
 		p := p
 		c.wg.Add(1)
+		//gblint:ignore determinism this package IS the real-concurrency substrate; determinism is the simulator's job
 		go func() {
 			defer c.wg.Done()
 			c.eventLoop(p)
@@ -180,6 +181,7 @@ func (c *Cluster) Start() {
 	for _, e := range c.edges {
 		e := e
 		c.wg.Add(1)
+		//gblint:ignore determinism one forwarder goroutine per edge is the package's execution model
 		go func() {
 			defer c.wg.Done()
 			c.forward(e)
@@ -268,6 +270,7 @@ func (c *Cluster) forward(e *edge) {
 				if lost {
 					c.ins.lost.Inc()
 					if c.ins.trace != nil {
+						//gblint:ignore determinism trace timestamps under the goroutine runtime are wall-clock by definition
 						c.ins.trace.Emit(obs.Event{Time: time.Now().UnixNano(), Kind: obs.EvDrop, A: e.src, B: e.dst})
 					}
 					continue
@@ -319,7 +322,7 @@ func (c *Cluster) edgeIndex(src, dst int) int {
 
 func (c *Cluster) recordEntry(id int) {
 	c.mu.Lock()
-	e := Entry{ID: id, Seq: len(c.entries), At: time.Now()}
+	e := Entry{ID: id, Seq: len(c.entries), At: time.Now()} //gblint:ignore determinism entry timestamps under the goroutine runtime are wall-clock by definition
 	c.entries = append(c.entries, e)
 	cb := c.onEntry
 	c.mu.Unlock()

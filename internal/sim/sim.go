@@ -372,6 +372,8 @@ func (s *Sim) delay() int64 {
 }
 
 // schedule pushes a typed event after the given delay (relative to now).
+//
+//gblint:hotpath
 func (s *Sim) schedule(after int64, kind evKind, a, b int32) {
 	s.seq++
 	s.queue.push(event{time: s.now + after, seq: s.seq, kind: kind, a: a, b: b})
@@ -392,6 +394,8 @@ func (s *Sim) At(t int64, fn func(s *Sim)) {
 
 // send routes msgs into the network, scheduling deliveries. fromWrapper
 // attributes the messages in the metrics.
+//
+//gblint:hotpath
 func (s *Sim) send(msgs []tme.Message, fromWrapper bool) {
 	for _, m := range msgs {
 		if m.From < 0 || m.From >= s.cfg.N || m.To < 0 || m.To >= s.cfg.N || m.From == m.To {
@@ -420,11 +424,15 @@ func (s *Sim) send(msgs []tme.Message, fromWrapper bool) {
 // ScheduleDelivery schedules one head-of-channel delivery on ep after the
 // given delay. The fault injector calls this when it duplicates a message,
 // so the extra copy has a delivery opportunity.
+//
+//gblint:hotpath
 func (s *Sim) ScheduleDelivery(ep channel.Endpoint, delay int64) {
 	s.schedule(delay, evDeliver, int32(ep.Src), int32(ep.Dst))
 }
 
 // deliver pops the channel head (if any) into the destination node.
+//
+//gblint:hotpath
 func (s *Sim) deliver(ep channel.Endpoint) {
 	q := s.net.Chan(ep.Src, ep.Dst)
 	if q == nil {
@@ -447,6 +455,8 @@ func (s *Sim) deliver(ep channel.Endpoint) {
 
 // afterEventAt runs the internal step (CS entry) and level-1 wrapper of
 // node i after an event touched it.
+//
+//gblint:hotpath
 func (s *Sim) afterEventAt(i int) {
 	s.runLevel1(i)
 	if entered, msgs := s.nodes[i].Step(); entered {
@@ -475,6 +485,8 @@ func (s *Sim) afterEventAt(i int) {
 // actions, and the periodic ticks — because a corrupted process that
 // receives no messages still must repair itself (the level-1 wrapper is a
 // local program, not a message handler).
+//
+//gblint:hotpath
 func (s *Sim) runLevel1(i int) {
 	if s.cfg.Level1 != nil {
 		if repaired, _ := s.cfg.Level1.CheckRepair(s.nodes[i]); repaired {
@@ -492,6 +504,8 @@ func (s *Sim) runLevel1(i int) {
 // rescheduling itself — once the request budget is spent and the process is
 // back to thinking, so bounded workloads drain the event queue and Run can
 // terminate before its horizon.
+//
+//gblint:hotpath
 func (s *Sim) clientTick(i int) {
 	s.runLevel1(i)
 	budgetLeft := s.cfg.MaxRequests == 0 || s.requests[i] < s.cfg.MaxRequests
@@ -513,6 +527,8 @@ func (s *Sim) clientTick(i int) {
 }
 
 // doRequest performs the client "Request CS" action at node i if thinking.
+//
+//gblint:hotpath
 func (s *Sim) doRequest(i int) {
 	if s.nodes[i].Phase() != tme.Thinking {
 		return
@@ -526,6 +542,8 @@ func (s *Sim) doRequest(i int) {
 }
 
 // release performs the client "Release CS" action at node i.
+//
+//gblint:hotpath
 func (s *Sim) release(i int) {
 	s.relPend[i] = false
 	if s.nodes[i].Phase() != tme.Eating {
@@ -546,6 +564,8 @@ func (s *Sim) Request(i int) { s.schedule(0, evRequest, int32(i), 0) }
 func (s *Sim) Release(i int) { s.schedule(0, evRelease, int32(i), 0) }
 
 // wrapperTick fires node i's level-2 wrapper and re-arms the timer.
+//
+//gblint:hotpath
 func (s *Sim) wrapperTick(i int) {
 	s.runLevel1(i)
 	msgs := s.wrappers[i].Fire(s.now, s.nodes[i])
@@ -554,6 +574,8 @@ func (s *Sim) wrapperTick(i int) {
 }
 
 // dispatch executes one event record.
+//
+//gblint:hotpath
 func (s *Sim) dispatch(ev *event) {
 	switch ev.kind {
 	case evDeliver:
@@ -576,6 +598,8 @@ func (s *Sim) dispatch(ev *event) {
 
 // Run processes events until the queue drains, time exceeds horizon, or
 // Stop is called. It returns the number of events processed in this call.
+//
+//gblint:hotpath
 func (s *Sim) Run(horizon int64) int64 {
 	// State may have been mutated directly between Run calls (tests poke
 	// channels and nodes through Net and Node); invalidate snapshots once.
@@ -613,6 +637,8 @@ func (s *Sim) Snapshot() GlobalState {
 // SnapshotInto fills g with the current global state, reusing g's slices.
 // Observers that snapshot on every event use SnapshotDeltaInto instead,
 // which skips the unchanged parts.
+//
+//gblint:hotpath
 func (s *Sim) SnapshotInto(g *GlobalState) {
 	g.Time = s.now
 	if cap(g.Nodes) < s.cfg.N {
@@ -626,6 +652,8 @@ func (s *Sim) SnapshotInto(g *GlobalState) {
 }
 
 // snapshotInFlight rebuilds g.InFlight from the live channels.
+//
+//gblint:hotpath
 func (s *Sim) snapshotInFlight(g *GlobalState) {
 	g.InFlight = g.InFlight[:0]
 	for _, ep := range s.endpoints() {
@@ -651,6 +679,8 @@ type SnapVersions struct {
 // v's last synchronization. After an At-closure ran (fault injection),
 // everything is conservatively treated as changed. The result is
 // byte-identical to SnapshotInto; only the work is smaller.
+//
+//gblint:hotpath
 func (s *Sim) SnapshotDeltaInto(g *GlobalState, v *SnapVersions) {
 	g.Time = s.now
 	n := s.cfg.N
@@ -702,6 +732,7 @@ func (h *eventHeap) less(i, j int) bool {
 	return h.items[i].seq < h.items[j].seq
 }
 
+//gblint:hotpath
 func (h *eventHeap) push(e event) {
 	h.items = append(h.items, e)
 	i := len(h.items) - 1

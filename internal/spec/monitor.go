@@ -35,14 +35,18 @@ func NewUnless[S any](name string, p, q Predicate[S]) Monitor[S] {
 func (m *unlessMonitor[S]) Name() string { return m.name }
 func (m *unlessMonitor[S]) Pending() int { return 0 }
 
+// Observe feeds the next state.
+//
+//gblint:hotpath
 func (m *unlessMonitor[S]) Observe(s S) *Violation {
-	defer func() { m.idx++ }()
+	idx := m.idx
+	m.idx++
 	pnq := m.p(s) && !m.q(s)
 	bad := m.havePrev && m.prevPnQ && !m.p(s) && !m.q(s)
 	m.havePrev = true
 	m.prevPnQ = pnq
 	if bad {
-		return &Violation{Op: "unless", Index: m.idx - 1,
+		return &Violation{Op: "unless", Index: idx - 1,
 			Detail: m.name + ": p ∧ ¬q held but next state satisfies ¬p ∧ ¬q"}
 	}
 	return nil
@@ -71,10 +75,14 @@ func NewInvariant[S any](name string, p Predicate[S]) Monitor[S] {
 func (m *invariantMonitor[S]) Name() string { return m.name }
 func (m *invariantMonitor[S]) Pending() int { return 0 }
 
+// Observe feeds the next state.
+//
+//gblint:hotpath
 func (m *invariantMonitor[S]) Observe(s S) *Violation {
-	defer func() { m.idx++ }()
+	idx := m.idx
+	m.idx++
 	if !m.p(s) {
-		return &Violation{Op: "invariant", Index: m.idx, Detail: m.name + ": p does not hold"}
+		return &Violation{Op: "invariant", Index: idx, Detail: m.name + ": p does not hold"}
 	}
 	return nil
 }
@@ -123,9 +131,12 @@ func (l *LeadsToMonitor[S]) OpenSince() int { return l.m.openSince }
 
 // Observe feeds the next state. It never returns a violation (leads-to can
 // only fail at infinity); use Finish at end of trace.
+//
+//gblint:hotpath
 func (l *LeadsToMonitor[S]) Observe(s S) *Violation {
 	m := &l.m
-	defer func() { m.idx++ }()
+	idx := m.idx
+	m.idx++
 	pv := m.p(s)
 	var qv bool
 	if m.selfNeg {
@@ -140,7 +151,7 @@ func (l *LeadsToMonitor[S]) Observe(s S) *Violation {
 	}
 	if pv && !qv {
 		if m.openSince == -1 {
-			m.openSince = m.idx
+			m.openSince = idx
 		}
 		m.open++
 	}
@@ -173,6 +184,8 @@ func NewSuite[S any](ms ...Monitor[S]) *Suite[S] {
 func (su *Suite[S]) Add(m Monitor[S]) { su.monitors = append(su.monitors, m) }
 
 // Observe feeds s to every monitor, collecting violations.
+//
+//gblint:hotpath
 func (su *Suite[S]) Observe(s S) {
 	for _, m := range su.monitors {
 		if v := m.Observe(s); v != nil {

@@ -28,6 +28,8 @@ type Instrumented struct {
 var _ Level2 = (*Instrumented)(nil)
 
 // Fire evaluates the inner wrapper and publishes the outcome.
+//
+//gblint:hotpath
 func (w *Instrumented) Fire(now int64, v tme.SpecView) []tme.Message {
 	msgs := w.Inner.Fire(now, v)
 	w.Evals.Inc()
