@@ -43,7 +43,7 @@ bench-baseline:
 # Re-measure and diff against the committed baseline; exits non-zero when
 # ns/op or allocs/op regressed beyond the tolerance.
 bench-compare:
-	$(GO) run ./cmd/bench -out BENCH_PR2.json -compare BENCH_BASELINE.json
+	$(GO) run ./cmd/bench -out BENCH_PR4.json -compare BENCH_PR2.json
 
 # Regenerate every experiment table of EXPERIMENTS.md (full scale ≈ 30 min).
 experiments:
@@ -65,7 +65,7 @@ fuzz:
 	$(GO) test -run=Fuzz -fuzz=FuzzFIFOOps -fuzztime=15s ./internal/channel/
 	$(GO) test -run=Fuzz -fuzz=FuzzAcceptForward -fuzztime=15s ./internal/ring/
 	$(GO) test -run=Fuzz -fuzz=FuzzParseSystem -fuzztime=15s ./cmd/gbcheck/
-	$(GO) test -run=Fuzz -fuzz=FuzzEventHeap -fuzztime=15s ./internal/sim/
+	$(GO) test -run=Fuzz -fuzz=FuzzEventHeap -fuzztime=15s ./internal/engine/
 
 clean:
 	$(GO) clean ./...

@@ -35,6 +35,7 @@ import (
 
 	"github.com/graybox-stabilization/graybox/internal/harness"
 	"github.com/graybox-stabilization/graybox/internal/obs"
+	"github.com/graybox-stabilization/graybox/internal/ring"
 )
 
 func main() {
@@ -140,6 +141,45 @@ func run(args []string, out, errOut io.Writer) error {
 			b.ReportMetric(float64(latSum)/float64(b.N), "recovery-ticks/run")
 		})
 	}
+
+	// E11: ring token circulation — regeneration latency after token death
+	// (the second engine substrate, exercising the shared event core's
+	// typed-dispatch hot path end to end).
+	record("bench_ring_circulation", func(b *testing.B) {
+		var latSum int64
+		for i := 0; i < b.N; i++ {
+			s := ring.NewSim(ring.SimConfig{
+				N: 8, Seed: int64(i),
+				NewNode:      func(id, n int) ring.Node { return ring.NewEager(id, n, 2) },
+				WrapperDelta: 25,
+			})
+			s.Run(200)
+			s.DropAllInFlight()
+			s.StealToken()
+			faultAt := s.Now()
+			before := 0
+			for _, a := range s.Metrics().Accepts {
+				before += a
+			}
+			recoveredAt := int64(-1)
+			for s.Now() < faultAt+3000 {
+				s.Tick()
+				total := 0
+				for _, a := range s.Metrics().Accepts {
+					total += a
+				}
+				if total > before {
+					recoveredAt = s.Now()
+					break
+				}
+			}
+			if recoveredAt < 0 {
+				b.Fatalf("seed %d: ring did not recover", i)
+			}
+			latSum += recoveredAt - faultAt
+		}
+		b.ReportMetric(float64(latSum)/float64(b.N), "recovery-ticks/run")
+	})
 
 	w := out
 	if *outPath != "-" {

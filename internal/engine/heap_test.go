@@ -1,4 +1,4 @@
-package sim
+package engine
 
 import (
 	"math/rand"
@@ -14,7 +14,7 @@ func drain(h *eventHeap) [][2]int64 {
 		if !ok {
 			return out
 		}
-		out = append(out, [2]int64{e.time, int64(e.seq)})
+		out = append(out, [2]int64{e.Time, int64(e.Seq)})
 	}
 }
 
@@ -32,17 +32,17 @@ func TestEventHeapProperty(t *testing.T) {
 		for op := 0; op < ops; op++ {
 			if rng.Intn(3) > 0 || len(oracle) == 0 {
 				// Push. Random times (with collisions likely); seq is
-				// strictly increasing like the simulator's allocator.
-				e := event{time: int64(rng.Intn(50)), seq: seq, kind: evClientTick}
+				// strictly increasing like the engine's allocator.
+				e := Event{Time: int64(rng.Intn(50)), Seq: seq, Kind: 2}
 				seq++
 				h.push(e)
-				oracle = append(oracle, [2]int64{e.time, int64(e.seq)})
+				oracle = append(oracle, [2]int64{e.Time, int64(e.Seq)})
 			} else {
 				e, ok := h.pop()
 				if !ok {
 					t.Fatalf("trial %d: pop failed with %d pending", trial, len(oracle))
 				}
-				got := [2]int64{e.time, int64(e.seq)}
+				got := [2]int64{e.Time, int64(e.Seq)}
 				popped = append(popped, got)
 				// The pop must return the minimum of everything pending —
 				// the sort-based oracle's head.
@@ -95,9 +95,9 @@ func TestEventHeapOrderMatchesSortOracle(t *testing.T) {
 		n := rng.Intn(300)
 		want := make([][2]int64, 0, n)
 		for i := 0; i < n; i++ {
-			e := event{time: int64(rng.Intn(20)), seq: uint64(i)}
+			e := Event{Time: int64(rng.Intn(20)), Seq: uint64(i)}
 			h.push(e)
-			want = append(want, [2]int64{e.time, int64(e.seq)})
+			want = append(want, [2]int64{e.Time, int64(e.Seq)})
 		}
 		sort.Slice(want, func(i, j int) bool {
 			if want[i][0] != want[j][0] {
@@ -131,10 +131,10 @@ func FuzzEventHeap(f *testing.F) {
 		var lastPop *[2]int64
 		for _, b := range program {
 			if b%2 == 0 {
-				e := event{time: int64(b / 2), seq: seq}
+				e := Event{Time: int64(b / 2), Seq: seq}
 				seq++
 				h.push(e)
-				pending[[2]int64{e.time, int64(e.seq)}] = true
+				pending[[2]int64{e.Time, int64(e.Seq)}] = true
 				lastPop = nil // a push may introduce a smaller key
 			} else {
 				e, ok := h.pop()
@@ -144,7 +144,7 @@ func FuzzEventHeap(f *testing.F) {
 					}
 					continue
 				}
-				key := [2]int64{e.time, int64(e.seq)}
+				key := [2]int64{e.Time, int64(e.Seq)}
 				if !pending[key] {
 					t.Fatalf("popped %v which was not pending", key)
 				}

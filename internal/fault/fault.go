@@ -4,6 +4,13 @@
 // initialization. All choices are drawn from a seeded source, so a faulty
 // run remains a deterministic function of its seeds.
 //
+// The injector targets engine.Surface — the substrate-agnostic fault
+// surface — so one Mix drives faults into every engine-backed system: the
+// TME simulator, the token-circulation ring, and the Dijkstra token-ring
+// daemon. Substrates that expose the richer TME-typed hooks (MutateInFlight,
+// CorruptibleNode) get the paper's field-by-field corruption model; the
+// rest get the surface's generic corruption and perturbation.
+//
 // Faults are transient and finite in number — exactly the premise under
 // which stabilization is claimed. The injector never touches anything after
 // its last scheduled burst, so "convergence time after the last fault" is
@@ -14,11 +21,26 @@ import (
 	"math/rand"
 
 	"github.com/graybox-stabilization/graybox/internal/channel"
+	"github.com/graybox-stabilization/graybox/internal/engine"
 	"github.com/graybox-stabilization/graybox/internal/ltime"
 	"github.com/graybox-stabilization/graybox/internal/obs"
-	"github.com/graybox-stabilization/graybox/internal/sim"
 	"github.com/graybox-stabilization/graybox/internal/tme"
 )
+
+// Surface is the fault surface the injector drives — engine.Surface,
+// re-exported so callers can read the contract where the injector lives.
+type Surface = engine.Surface
+
+// tmeSurface is the richer TME-typed corruption interface. *sim.Sim
+// implements it; substrates that do fall back from the generic surface
+// methods to the paper's field-by-field fault model.
+type tmeSurface interface {
+	Surface
+	// MutateInFlight applies f to the i-th in-flight message on ep.
+	MutateInFlight(ep channel.Endpoint, i int, f func(*tme.Message)) bool
+	// CorruptibleNode returns process id's corruption hook, or nil.
+	CorruptibleNode(id int) tme.Corruptible
+}
 
 // Kind enumerates the fault classes of the paper's fault model.
 type Kind int
@@ -124,7 +146,7 @@ type Injector struct {
 var kindLabels = [6]string{"", "loss", "dup", "corrupt", "state", "flush"}
 
 // bind caches the simulation's obs handles on first use.
-func (in *Injector) bind(s *sim.Sim) {
+func (in *Injector) bind(s Surface) {
 	if in.bound {
 		return
 	}
@@ -153,22 +175,22 @@ func NewInjector(seed int64, mix Mix, opts Options) *Injector {
 func (in *Injector) Count() int { return in.count }
 
 // Burst applies n faults to s immediately (at the current virtual time).
-func (in *Injector) Burst(s *sim.Sim, n int) {
+func (in *Injector) Burst(s Surface, n int) {
 	for i := 0; i < n; i++ {
 		in.one(s)
 	}
 }
 
 // Schedule arranges count faults at each of the given times.
-func (in *Injector) Schedule(s *sim.Sim, times []int64, countPerBurst int) {
+func (in *Injector) Schedule(s Surface, times []int64, countPerBurst int) {
 	for _, t := range times {
 		t := t
-		s.At(t, func(s *sim.Sim) { in.Burst(s, countPerBurst) })
+		s.Core().At(t, func() { in.Burst(s, countPerBurst) })
 	}
 }
 
 // one applies a single randomly chosen fault.
-func (in *Injector) one(s *sim.Sim) {
+func (in *Injector) one(s Surface) {
 	in.bind(s)
 	in.count++
 	kind := in.mix.pick(in.rng)
@@ -194,10 +216,10 @@ func (in *Injector) one(s *sim.Sim) {
 
 // nonEmptyChannel picks a uniformly random non-empty channel, or ok=false
 // when all channels are empty.
-func (in *Injector) nonEmptyChannel(s *sim.Sim) (channel.Endpoint, bool) {
+func (in *Injector) nonEmptyChannel(s Surface) (channel.Endpoint, bool) {
 	var candidates []channel.Endpoint
-	for _, ep := range s.Net().Endpoints() {
-		if !s.Net().Chan(ep.Src, ep.Dst).Empty() {
+	for _, ep := range s.Channels() {
+		if s.QueueLen(ep) > 0 {
 			candidates = append(candidates, ep)
 		}
 	}
@@ -207,33 +229,36 @@ func (in *Injector) nonEmptyChannel(s *sim.Sim) (channel.Endpoint, bool) {
 	return candidates[in.rng.Intn(len(candidates))], true
 }
 
-func (in *Injector) loss(s *sim.Sim) {
+func (in *Injector) loss(s Surface) {
 	ep, ok := in.nonEmptyChannel(s)
 	if !ok {
 		return
 	}
-	q := s.Net().Chan(ep.Src, ep.Dst)
-	q.Drop(in.rng.Intn(q.Len()))
+	s.FaultDrop(ep, in.rng.Intn(s.QueueLen(ep)))
 }
 
-func (in *Injector) dup(s *sim.Sim) {
+func (in *Injector) dup(s Surface) {
 	ep, ok := in.nonEmptyChannel(s)
 	if !ok {
 		return
 	}
-	q := s.Net().Chan(ep.Src, ep.Dst)
-	q.Duplicate(in.rng.Intn(q.Len()))
+	i := in.rng.Intn(s.QueueLen(ep))
 	// The copy needs its own delivery opportunity.
-	s.ScheduleDelivery(ep, 1+in.rng.Int63n(5))
+	s.FaultDuplicate(ep, i, 1+in.rng.Int63n(5))
 }
 
-func (in *Injector) corrupt(s *sim.Sim) {
+func (in *Injector) corrupt(s Surface) {
 	ep, ok := in.nonEmptyChannel(s)
 	if !ok {
 		return
 	}
-	q := s.Net().Chan(ep.Src, ep.Dst)
-	q.Mutate(in.rng.Intn(q.Len()), func(m *tme.Message) {
+	i := in.rng.Intn(s.QueueLen(ep))
+	ts, typed := s.(tmeSurface)
+	if !typed {
+		s.FaultCorrupt(ep, i, in.rng)
+		return
+	}
+	ts.MutateInFlight(ep, i, func(m *tme.Message) {
 		switch in.rng.Intn(3) {
 		case 0:
 			m.TS = in.randomTS(in.rng.Intn(s.N()))
@@ -245,21 +270,26 @@ func (in *Injector) corrupt(s *sim.Sim) {
 	})
 }
 
-func (in *Injector) state(s *sim.Sim) {
+func (in *Injector) state(s Surface) {
 	id := in.rng.Intn(s.N())
-	node, ok := s.Node(id).(tme.Corruptible)
-	if !ok {
+	ts, typed := s.(tmeSurface)
+	if !typed {
+		s.FaultPerturb(id, in.rng)
+		return
+	}
+	node := ts.CorruptibleNode(id)
+	if node == nil {
 		return
 	}
 	node.Corrupt(in.RandomCorruption(id, s.N()))
 }
 
-func (in *Injector) flush(s *sim.Sim) {
+func (in *Injector) flush(s Surface) {
 	ep, ok := in.nonEmptyChannel(s)
 	if !ok {
 		return
 	}
-	s.Net().Chan(ep.Src, ep.Dst).Clear()
+	s.FaultFlush(ep)
 }
 
 func (in *Injector) randomTS(pid int) ltime.Timestamp {
@@ -310,10 +340,12 @@ func (in *Injector) RandomCorruption(id, n int) tme.Corruption {
 	return c
 }
 
-// DropAllInFlight clears every channel — the paper's §4 deadlock scenario
+// DropAllInFlight flushes every channel — the paper's §4 deadlock scenario
 // generator when applied while requests are in flight.
-func DropAllInFlight(s *sim.Sim) {
-	s.Net().ClearAll()
+func DropAllInFlight(s Surface) {
+	for _, ep := range s.Channels() {
+		s.FaultFlush(ep)
+	}
 	if o := s.Obs(); o != nil {
 		// Registration is owned by bind (each metric name has exactly one
 		// registration site); a throwaway injector reuses those instruments
@@ -330,13 +362,22 @@ func DropAllInFlight(s *sim.Sim) {
 }
 
 // ImproperInit corrupts every process before the run starts, modelling
-// arbitrary (improper) initialization. Call it before s.Run.
-func ImproperInit(s *sim.Sim, seed int64, opts Options) {
+// arbitrary (improper) initialization. Call it before the first Run.
+func ImproperInit(s Surface, seed int64, opts Options) {
 	in := NewInjector(seed, Mix{State: 1}, opts)
 	in.bind(s)
+	ts, typed := s.(tmeSurface)
 	for i := 0; i < s.N(); i++ {
-		if node, ok := s.Node(i).(tme.Corruptible); ok {
-			node.Corrupt(in.RandomCorruption(i, s.N()))
+		applied := false
+		if typed {
+			if node := ts.CorruptibleNode(i); node != nil {
+				node.Corrupt(in.RandomCorruption(i, s.N()))
+				applied = true
+			}
+		} else {
+			applied = s.FaultPerturb(i, in.rng)
+		}
+		if applied {
 			in.cFaults.Inc()
 			in.cByKind[StateCorrupt].Inc()
 			in.conv.RecordFault(s.Now())

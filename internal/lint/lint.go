@@ -124,11 +124,17 @@ func DefaultConfig() *Config {
 			{Scope: "internal/ring", Deny: []string{"internal/wrapper", "internal/sim"}, Reason: implSide},
 			{Scope: "internal/obs", Deny: []string{DenyModule},
 				Reason: "obs is a leaf every layer publishes into, so it may depend on nothing in-module"},
+			{Scope: "internal/engine", Deny: []string{
+				"internal/ra", "internal/lamport", "internal/tokenring", "internal/ring",
+				"internal/wrapper", "internal/spec", "internal/lspec",
+				"internal/sim", "internal/fault", "internal/harness",
+			}, Reason: "the event engine is protocol-agnostic: substrates build on it, never the reverse"},
 		},
 		DetScope: []string{
 			"internal/sim", "internal/runtime", "internal/harness",
 			"internal/fault", "internal/channel", "internal/lspec",
 			"internal/ra", "internal/lamport", "internal/tokenring", "internal/ring",
+			"internal/engine",
 		},
 		DetGoAllowed:   []string{"ParMap"},
 		DetTimeFuncs:   []string{"Now", "Since", "Until"},

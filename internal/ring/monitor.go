@@ -21,7 +21,7 @@ type Snapshot struct {
 // Snap captures the current snapshot.
 func (s *Sim) Snap() Snapshot {
 	snap := Snapshot{
-		Time:   s.now,
+		Time:   s.Now(),
 		Live:   s.LiveTokens(),
 		Holder: s.Holder(),
 		Seqs:   make([]uint64, s.cfg.N),

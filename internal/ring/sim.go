@@ -4,14 +4,18 @@ import (
 	"math/rand"
 
 	"github.com/graybox-stabilization/graybox/internal/channel"
+	"github.com/graybox-stabilization/graybox/internal/engine"
 	"github.com/graybox-stabilization/graybox/internal/obs"
 )
 
-// inflight is one token travelling a link, due at a tick.
-type inflight struct {
-	tok Token
-	due int64
-}
+// The ring's typed engine event kinds.
+const (
+	// kindDeliver pops the head of link a→b into node b.
+	kindDeliver uint8 = iota + 1
+	// kindTick advances the per-tick machinery: node forwarding, the
+	// regenerator wrapper, dead-tick accounting, the observer.
+	kindTick
+)
 
 // SimConfig parameterizes a ring simulation.
 type SimConfig struct {
@@ -43,13 +47,17 @@ type Metrics struct {
 	DeadTicks int64
 }
 
-// Sim is a deterministic tick-driven ring simulator. Construct with NewSim.
+// Sim is a deterministic ring simulator on the shared discrete-event
+// engine: token deliveries are typed engine events due after sampled link
+// delays, and the per-tick machinery (forwarding, the wrapper, dead-tick
+// accounting) is a recurring tick event. Construct with NewSim.
 type Sim struct {
 	cfg      SimConfig
-	rng      *rand.Rand
-	now      int64
+	core     *engine.Core
+	mesh     *engine.Mesh[Token]
+	rng      *rand.Rand // the core's master stream, cached
 	nodes    []Node
-	links    []channel.FIFO[inflight] // links[i]: i → (i+1) mod n
+	eps      []channel.Endpoint // the n ring links i → (i+1) mod n
 	wrapper  *Regenerator
 	metrics  Metrics
 	ins      ringInstruments
@@ -96,18 +104,23 @@ func NewSim(cfg SimConfig) *Sim {
 	if cfg.MaxDelay < cfg.MinDelay {
 		cfg.MaxDelay = cfg.MinDelay
 	}
+	core := engine.New(cfg.Seed)
 	s := &Sim{
 		cfg:   cfg,
-		rng:   rand.New(rand.NewSource(cfg.Seed)),
+		core:  core,
+		mesh:  engine.NewMesh[Token](core, cfg.N, cfg.MinDelay, cfg.MaxDelay, kindDeliver),
+		rng:   core.RNG(),
 		nodes: make([]Node, cfg.N),
-		links: make([]channel.FIFO[inflight], cfg.N),
+		eps:   make([]channel.Endpoint, cfg.N),
 		metrics: Metrics{
 			Accepts: make([]int, cfg.N),
 		},
 	}
+	core.SetHandler(s.dispatch)
 	s.ins = newRingInstruments(cfg.Obs)
 	for i := range s.nodes {
 		s.nodes[i] = cfg.NewNode(i, cfg.N)
+		s.eps[i] = channel.Endpoint{Src: i, Dst: (i + 1) % cfg.N}
 	}
 	if cfg.WrapperDelta > 0 {
 		s.wrapper = NewRegenerator(cfg.WrapperDelta)
@@ -116,11 +129,16 @@ func NewSim(cfg SimConfig) *Sim {
 	s.nodes[0].Accept(Token{Seq: 1})
 	s.metrics.Accepts[0]++
 	s.ins.accepts.Inc()
+	// The first tick fires at t=1; each tick re-arms the next, after its
+	// sends, so every delivery due at t+1 precedes tick t+1 in seq order —
+	// deliveries before node steps within a tick, as the ring's round
+	// structure requires.
+	core.Schedule(1, kindTick, 0, 0)
 	return s
 }
 
 // Now returns the current tick.
-func (s *Sim) Now() int64 { return s.now }
+func (s *Sim) Now() int64 { return s.core.Now() }
 
 // Node returns process i.
 func (s *Sim) Node(i int) Node { return s.nodes[i] }
@@ -132,45 +150,47 @@ func (s *Sim) Metrics() *Metrics { return &s.metrics }
 func (s *Sim) Wrapper() *Regenerator { return s.wrapper }
 
 // send puts a token on link i with a sampled delay.
+//
+//gblint:hotpath
 func (s *Sim) send(i int, t Token) {
-	delay := s.cfg.MinDelay + s.rng.Int63n(s.cfg.MaxDelay-s.cfg.MinDelay+1)
-	s.links[i].Send(inflight{tok: t, due: s.now + delay})
+	dst := (i + 1) % s.cfg.N
+	s.mesh.Send(i, dst, t)
 	s.ins.sends.Inc()
 	if s.ins.trace != nil {
-		s.ins.trace.Emit(obs.Event{Time: s.now, Kind: obs.EvSend, A: i, B: (i + 1) % s.cfg.N, N: int(t.Seq)})
+		s.ins.trace.Emit(obs.Event{Time: s.Now(), Kind: obs.EvSend, A: i, B: dst, N: int(t.Seq)})
 	}
 }
 
-// Tick advances the simulation one tick: deliver due tokens, tick nodes,
-// run the wrapper.
-func (s *Sim) Tick() {
-	s.now++
-	// Deliveries: pop link heads that are due (FIFO: later-queued tokens
-	// wait even if their delay elapsed).
-	for i := 0; i < s.cfg.N; i++ {
-		dst := (i + 1) % s.cfg.N
-		for {
-			head, ok := s.links[i].Peek()
-			if !ok || head.due > s.now {
-				break
-			}
-			s.links[i].Recv()
-			if s.nodes[dst].Accept(head.tok) {
-				s.metrics.Accepts[dst]++
-				s.ins.accepts.Inc()
-				if s.ins.trace != nil {
-					s.ins.trace.Emit(obs.Event{Time: s.now, Kind: obs.EvDeliver, A: i, B: dst, N: int(head.tok.Seq)})
-				}
-			} else {
-				s.metrics.Discards++
-				s.ins.discards.Inc()
-				if s.ins.trace != nil {
-					s.ins.trace.Emit(obs.Event{Time: s.now, Kind: obs.EvDrop, A: i, B: dst, N: int(head.tok.Seq), Detail: "stale"})
-				}
-			}
+// deliver pops the head of link src→dst into node dst.
+//
+//gblint:hotpath
+func (s *Sim) deliver(src, dst int) {
+	t, ok := s.mesh.Recv(channel.Endpoint{Src: src, Dst: dst})
+	if !ok {
+		return // lost to a fault; the delivery opportunity passes
+	}
+	if s.nodes[dst].Accept(t) {
+		s.metrics.Accepts[dst]++
+		s.ins.accepts.Inc()
+		if s.ins.trace != nil {
+			s.ins.trace.Emit(obs.Event{Time: s.Now(), Kind: obs.EvDeliver, A: src, B: dst, N: int(t.Seq)})
+		}
+	} else {
+		s.metrics.Discards++
+		s.ins.discards.Inc()
+		if s.ins.trace != nil {
+			s.ins.trace.Emit(obs.Event{Time: s.Now(), Kind: obs.EvDrop, A: src, B: dst, N: int(t.Seq), Detail: "stale"})
 		}
 	}
-	// Node steps: forwarding.
+}
+
+// tick runs the per-tick machinery: node forwarding in index order, the
+// wrapper at process 0, dead-tick accounting, and the observer. It re-arms
+// the next tick last, so deliveries at t+1 outrank it in seq order.
+//
+//gblint:hotpath
+func (s *Sim) tick() {
+	now := s.Now()
 	for i, nd := range s.nodes {
 		if t := nd.Tick(); t != nil {
 			s.send(i, *t)
@@ -182,7 +202,7 @@ func (s *Sim) Tick() {
 			s.metrics.Regenerations++
 			s.ins.regens.Inc()
 			if s.ins.trace != nil {
-				s.ins.trace.Emit(obs.Event{Time: s.now, Kind: obs.EvWrapperFire, A: 0, B: -1, N: int(t.Seq), Detail: "regenerate"})
+				s.ins.trace.Emit(obs.Event{Time: now, Kind: obs.EvWrapperFire, A: 0, B: -1, N: int(t.Seq), Detail: "regenerate"})
 			}
 			if s.nodes[0].Accept(*t) {
 				s.metrics.Accepts[0]++
@@ -194,18 +214,33 @@ func (s *Sim) Tick() {
 		s.metrics.DeadTicks++
 		s.ins.deadTicks.Inc()
 	}
-	s.ins.time.Set(s.now)
+	s.ins.time.Set(now)
 	if s.observer != nil {
 		s.observer(s)
 	}
+	s.core.Schedule(1, kindTick, 0, 0)
 }
 
-// Run advances the simulation by ticks ticks.
-func (s *Sim) Run(ticks int64) {
-	for t := int64(0); t < ticks; t++ {
-		s.Tick()
+// dispatch executes one engine event record.
+//
+//gblint:hotpath
+func (s *Sim) dispatch(ev *engine.Event) {
+	switch ev.Kind {
+	case kindDeliver:
+		s.deliver(int(ev.A), int(ev.B))
+	case kindTick:
+		s.tick()
+	default:
+		ev.Call()
 	}
 }
+
+// Tick advances the simulation one tick: deliver due tokens, tick nodes,
+// run the wrapper.
+func (s *Sim) Tick() { s.core.Run(s.Now() + 1) }
+
+// Run advances the simulation by ticks ticks.
+func (s *Sim) Run(ticks int64) { s.core.Run(s.Now() + ticks) }
 
 // LiveTokens counts tokens that still matter: processes currently holding,
 // plus in-flight tokens that would be accepted at their destination today.
@@ -216,11 +251,10 @@ func (s *Sim) LiveTokens() int {
 			live++
 		}
 	}
-	for i := 0; i < s.cfg.N; i++ {
-		dst := (i + 1) % s.cfg.N
-		q := &s.links[i]
+	for _, ep := range s.eps {
+		q := s.mesh.Net().Chan(ep.Src, ep.Dst)
 		for k := 0; k < q.Len(); k++ {
-			if q.At(k).tok.Seq > s.nodes[dst].Seq() {
+			if q.At(k).Seq > s.nodes[ep.Dst].Seq() {
 				live++
 			}
 		}
@@ -241,47 +275,4 @@ func (s *Sim) Holder() int {
 		}
 	}
 	return holder
-}
-
-// --- fault injection -------------------------------------------------
-
-// DropAllInFlight loses every in-flight token (the ring-death fault).
-func (s *Sim) DropAllInFlight() {
-	for i := range s.links {
-		s.links[i].Clear()
-	}
-}
-
-// StealToken clears every process's holding flag (state corruption killing
-// the token while held).
-func (s *Sim) StealToken() {
-	for _, nd := range s.nodes {
-		if nd.Holding() {
-			nd.CorruptState(false, nd.Seq())
-		}
-	}
-}
-
-// DuplicateInFlight duplicates the head token of every non-empty link.
-func (s *Sim) DuplicateInFlight() {
-	for i := range s.links {
-		if s.links[i].Len() > 0 {
-			s.links[i].Duplicate(0)
-		}
-	}
-}
-
-// ForgeHolders corrupts k processes into believing they hold the token
-// (multi-token state corruption), chosen deterministically from the seed.
-func (s *Sim) ForgeHolders(k int) {
-	for j := 0; j < k; j++ {
-		i := s.rng.Intn(s.cfg.N)
-		s.nodes[i].CorruptState(true, s.nodes[i].Seq())
-	}
-}
-
-// CorruptSeq forges process i's seq to the given value (a too-high value
-// blockades the ring at i until regeneration outruns it).
-func (s *Sim) CorruptSeq(i int, seq uint64) {
-	s.nodes[i].CorruptState(s.nodes[i].Holding(), seq)
 }

@@ -1,9 +1,9 @@
-// Package sim is a deterministic discrete-event simulator for the TME
-// system model of DSN 2001 §3.1: asynchronous processes communicating over
-// FIFO channels with arbitrary-but-finite delays. It is the paper's
-// (unstated) testbed, rebuilt: every run is a pure function of its
-// configuration and seed, so experiments are reproducible and convergence
-// can be measured in virtual time.
+// Package sim is the TME system model of DSN 2001 §3.1 — asynchronous
+// processes communicating over FIFO channels with arbitrary-but-finite
+// delays — built on the deterministic discrete-event core in
+// internal/engine. It is the paper's (unstated) testbed, rebuilt: every
+// run is a pure function of its configuration and seed, so experiments are
+// reproducible and convergence can be measured in virtual time.
 //
 // The simulator drives tme.Node implementations (internal/ra,
 // internal/lamport), optionally composes each with a graybox wrapper
@@ -12,9 +12,10 @@
 // monitors (internal/lspec) via per-event observers.
 //
 // The hot path is allocation-free in steady state: scheduled occurrences
-// are typed event records (no closure per event), and observers can keep
-// snapshots current with SnapshotDeltaInto, which reobserves only the
-// processes and channels that changed since the observer last looked.
+// are typed engine event records (no closure per event) interpreted by the
+// dispatch switch, and observers can keep snapshots current with
+// SnapshotDeltaInto, which reobserves only the processes and channels that
+// changed since the observer last looked.
 package sim
 
 import (
@@ -22,6 +23,7 @@ import (
 	"math/rand"
 
 	"github.com/graybox-stabilization/graybox/internal/channel"
+	"github.com/graybox-stabilization/graybox/internal/engine"
 	"github.com/graybox-stabilization/graybox/internal/ltime"
 	"github.com/graybox-stabilization/graybox/internal/obs"
 	"github.com/graybox-stabilization/graybox/internal/tme"
@@ -160,17 +162,13 @@ func (g *GlobalState) NumEating() int {
 // mutate the simulation.
 type Observer func(s *Sim)
 
-// evKind discriminates the typed event records of the hot path. Every
-// recurring occurrence (delivery, client tick, wrapper tick, release) is a
-// plain record dispatched by a switch in Run; only the rare path — At,
-// used by fault injectors and tests — carries a closure.
-type evKind uint8
-
+// The typed event kinds of the TME hot path. Every recurring occurrence
+// (delivery, client tick, wrapper tick, release) is a plain engine record
+// dispatched by a switch; only the rare path — At, used by fault injectors
+// and tests — carries a closure (engine.KindFunc).
 const (
-	// evFunc runs event.act (the At escape hatch).
-	evFunc evKind = iota
 	// evDeliver pops the head of channel a→b into node b.
-	evDeliver
+	evDeliver uint8 = iota + 1
 	// evClientTick runs the closed-loop client at node a.
 	evClientTick
 	// evWrapperTick fires node a's level-2 wrapper.
@@ -181,34 +179,19 @@ const (
 	evRelease
 )
 
-// event is one scheduled occurrence. seq breaks time ties deterministically
-// in schedule order. Typed events carry their operands in a and b; only
-// evFunc events allocate (the closure), which keeps the steady-state
-// scheduling path heap-free.
-type event struct {
-	time int64
-	seq  uint64
-	kind evKind
-	a, b int32 // node id (a) or channel endpoint (a→b)
-	act  func(s *Sim)
-}
-
 // Sim is one simulation instance. Construct with New, then Run.
 type Sim struct {
 	cfg      Config
-	rng      *rand.Rand
-	now      int64
-	seq      uint64
-	queue    eventHeap
+	core     *engine.Core
+	mesh     *engine.Mesh[tme.Message]
+	rng      *rand.Rand // the core's master stream, cached
 	nodes    []tme.Node
 	wrappers []wrapper.Level2
 	net      *channel.Net[tme.Message]
-	eps      []channel.Endpoint // cached deterministic endpoint order
-	requests []int              // requests issued per node
-	relPend  []bool             // release scheduled and not yet performed, per node
+	requests []int  // requests issued per node
+	relPend  []bool // release scheduled and not yet performed, per node
 	metrics  Metrics
 	observer Observer
-	stopped  bool
 	ins      instruments
 
 	// Dirty tracking for incremental snapshots: a version counter per
@@ -288,17 +271,23 @@ func New(cfg Config) *Sim {
 		panic("sim: Config.N and Config.NewNode are required")
 	}
 	c := cfg.withDefaults()
+	core := engine.New(c.Seed)
+	mesh := engine.NewMesh[tme.Message](core, c.N, c.MinDelay, c.MaxDelay, evDeliver)
 	s := &Sim{
 		cfg:       c,
-		rng:       rand.New(rand.NewSource(c.Seed)),
+		core:      core,
+		mesh:      mesh,
+		rng:       core.RNG(),
 		nodes:     make([]tme.Node, c.N),
-		net:       channel.NewNet[tme.Message](c.N),
+		net:       mesh.Net(),
 		requests:  make([]int, c.N),
 		relPend:   make([]bool, c.N),
 		verGlobal: 1,
 		verNodes:  make([]uint64, c.N),
 	}
 	s.ins = newInstruments(c.Obs)
+	core.SetHandler(s.dispatch)
+	core.SetAfterEvent(s.afterEvent)
 	if c.Workload && c.MaxRequests > 0 {
 		// One entry per granted request is the common shape; pre-sizing
 		// keeps append from reallocating on the hot path.
@@ -311,12 +300,12 @@ func New(cfg Config) *Sim {
 		s.wrappers = make([]wrapper.Level2, c.N)
 		for i := range s.wrappers {
 			s.wrappers[i] = wrapper.InstrumentLevel2(c.Obs, i, c.NewWrapper(i))
-			s.schedule(0, evWrapperTick, int32(i), 0)
+			s.core.Schedule(0, evWrapperTick, int32(i), 0)
 		}
 	}
 	if c.Workload {
 		for i := 0; i < c.N; i++ {
-			s.schedule(s.thinkTime(), evClientTick, int32(i), 0)
+			s.core.Schedule(s.thinkTime(), evClientTick, int32(i), 0)
 		}
 	}
 	return s
@@ -326,7 +315,7 @@ func New(cfg Config) *Sim {
 func (s *Sim) SetObserver(o Observer) { s.observer = o }
 
 // Now returns the current virtual time.
-func (s *Sim) Now() int64 { return s.now }
+func (s *Sim) Now() int64 { return s.core.Now() }
 
 // Node returns process i.
 func (s *Sim) Node(i int) tme.Node { return s.nodes[i] }
@@ -341,6 +330,10 @@ func (s *Sim) Net() *channel.Net[tme.Message] { return s.net }
 // so that a whole experiment remains a function of one seed.
 func (s *Sim) RNG() *rand.Rand { return s.rng }
 
+// Core returns the underlying engine core (the generic fault surface and
+// tests schedule through it).
+func (s *Sim) Core() *engine.Core { return s.core }
+
 // Metrics returns the accumulated metrics.
 func (s *Sim) Metrics() *Metrics { return &s.metrics }
 
@@ -350,7 +343,7 @@ func (s *Sim) Metrics() *Metrics { return &s.metrics }
 func (s *Sim) Obs() *obs.Obs { return s.cfg.Obs }
 
 // Stop ends the run after the current event.
-func (s *Sim) Stop() { s.stopped = true }
+func (s *Sim) Stop() { s.core.Stop() }
 
 // dirtyNode marks process i's spec-visible state as possibly changed.
 func (s *Sim) dirtyNode(i int) { s.verNodes[i]++ }
@@ -367,29 +360,13 @@ func (s *Sim) thinkTime() int64 {
 	return s.cfg.ThinkMin + s.rng.Int63n(s.cfg.ThinkMax-s.cfg.ThinkMin+1)
 }
 
-func (s *Sim) delay() int64 {
-	return s.cfg.MinDelay + s.rng.Int63n(s.cfg.MaxDelay-s.cfg.MinDelay+1)
-}
-
-// schedule pushes a typed event after the given delay (relative to now).
-//
-//gblint:hotpath
-func (s *Sim) schedule(after int64, kind evKind, a, b int32) {
-	s.seq++
-	s.queue.push(event{time: s.now + after, seq: s.seq, kind: kind, a: a, b: b})
-}
-
 // At schedules fn at absolute virtual time t (clamped to now for past
 // times). Fault injectors and tests use it to place faults precisely. This
 // is the rare-path escape hatch: it allocates a closure and conservatively
 // invalidates incremental snapshots when it runs, so recurring occurrences
 // use typed events instead.
 func (s *Sim) At(t int64, fn func(s *Sim)) {
-	if t < s.now {
-		t = s.now
-	}
-	s.seq++
-	s.queue.push(event{time: t, seq: s.seq, kind: evFunc, act: fn})
+	s.core.At(t, func() { fn(s) })
 }
 
 // send routes msgs into the network, scheduling deliveries. fromWrapper
@@ -401,7 +378,7 @@ func (s *Sim) send(msgs []tme.Message, fromWrapper bool) {
 		if m.From < 0 || m.From >= s.cfg.N || m.To < 0 || m.To >= s.cfg.N || m.From == m.To {
 			continue
 		}
-		s.net.Send(m.From, m.To, m)
+		s.mesh.Send(m.From, m.To, m)
 		s.dirtyNet()
 		slot := kindSlot(m.Kind)
 		s.metrics.kindCounts[slot]++
@@ -414,10 +391,9 @@ func (s *Sim) send(msgs []tme.Message, fromWrapper bool) {
 			s.ins.progMsgs.Inc()
 		}
 		s.ins.trace.Emit(obs.Event{
-			Time: s.now, Kind: obs.EvSend, A: m.From, B: m.To,
+			Time: s.core.Now(), Kind: obs.EvSend, A: m.From, B: m.To,
 			Detail: s.ins.kindDetail[slot],
 		})
-		s.ScheduleDelivery(channel.Endpoint{Src: m.From, Dst: m.To}, s.delay())
 	}
 }
 
@@ -427,18 +403,14 @@ func (s *Sim) send(msgs []tme.Message, fromWrapper bool) {
 //
 //gblint:hotpath
 func (s *Sim) ScheduleDelivery(ep channel.Endpoint, delay int64) {
-	s.schedule(delay, evDeliver, int32(ep.Src), int32(ep.Dst))
+	s.mesh.ScheduleDelivery(ep, delay)
 }
 
 // deliver pops the channel head (if any) into the destination node.
 //
 //gblint:hotpath
 func (s *Sim) deliver(ep channel.Endpoint) {
-	q := s.net.Chan(ep.Src, ep.Dst)
-	if q == nil {
-		return
-	}
-	m, ok := q.Recv()
+	m, ok := s.mesh.Recv(ep)
 	if !ok {
 		s.ins.lost.Inc()
 		return // lost to a fault; the delivery opportunity passes
@@ -447,7 +419,7 @@ func (s *Sim) deliver(ep channel.Endpoint) {
 	s.dirtyNode(ep.Dst)
 	s.metrics.Delivered++
 	s.ins.delivered.Inc()
-	s.ins.trace.Emit(obs.Event{Time: s.now, Kind: obs.EvDeliver, A: ep.Src, B: ep.Dst})
+	s.ins.trace.Emit(obs.Event{Time: s.core.Now(), Kind: obs.EvDeliver, A: ep.Src, B: ep.Dst})
 	out := s.nodes[ep.Dst].Deliver(m)
 	s.send(out, false)
 	s.afterEventAt(ep.Dst)
@@ -461,21 +433,22 @@ func (s *Sim) afterEventAt(i int) {
 	s.runLevel1(i)
 	if entered, msgs := s.nodes[i].Step(); entered {
 		s.send(msgs, false)
+		now := s.core.Now()
 		s.metrics.Entries = append(s.metrics.Entries, Entry{
-			Time: s.now, ID: i, REQ: s.nodes[i].REQ(),
+			Time: now, ID: i, REQ: s.nodes[i].REQ(),
 		})
 		s.ins.entries.Inc()
-		s.ins.conv.RecordProgress(s.now)
-		s.ins.trace.Emit(obs.Event{Time: s.now, Kind: obs.EvProgress, A: i, B: -1, Detail: "cs-entry"})
+		s.ins.conv.RecordProgress(now)
+		s.ins.trace.Emit(obs.Event{Time: now, Kind: obs.EvProgress, A: i, B: -1, Detail: "cs-entry"})
 		if s.ins.entryGap != nil {
 			if s.ins.haveEntry {
-				s.ins.entryGap.Observe(s.now - s.ins.lastEntry)
+				s.ins.entryGap.Observe(now - s.ins.lastEntry)
 			}
-			s.ins.lastEntry, s.ins.haveEntry = s.now, true
+			s.ins.lastEntry, s.ins.haveEntry = now, true
 		}
 		if s.cfg.Workload && !s.relPend[i] {
 			s.relPend[i] = true
-			s.schedule(s.cfg.EatTime, evRelease, int32(i), 0)
+			s.core.Schedule(s.cfg.EatTime, evRelease, int32(i), 0)
 		}
 	}
 }
@@ -492,7 +465,7 @@ func (s *Sim) runLevel1(i int) {
 		if repaired, _ := s.cfg.Level1.CheckRepair(s.nodes[i]); repaired {
 			s.dirtyNode(i)
 			s.ins.repairs.Inc()
-			s.ins.trace.Emit(obs.Event{Time: s.now, Kind: obs.EvRepair, A: i, B: -1})
+			s.ins.trace.Emit(obs.Event{Time: s.core.Now(), Kind: obs.EvRepair, A: i, B: -1})
 		}
 	}
 }
@@ -523,7 +496,7 @@ func (s *Sim) clientTick(i int) {
 		// Hungry (waiting on the algorithm) or an invalid phase (level-1
 		// wrapper territory): nothing for the client to do.
 	}
-	s.schedule(s.thinkTime(), evClientTick, int32(i), 0)
+	s.core.Schedule(s.thinkTime(), evClientTick, int32(i), 0)
 }
 
 // doRequest performs the client "Request CS" action at node i if thinking.
@@ -558,41 +531,52 @@ func (s *Sim) release(i int) {
 
 // Request asks node i to request the CS now (manual workload control for
 // examples and tests). It is a no-op unless the node is thinking.
-func (s *Sim) Request(i int) { s.schedule(0, evRequest, int32(i), 0) }
+func (s *Sim) Request(i int) { s.core.Schedule(0, evRequest, int32(i), 0) }
 
 // Release asks node i to release the CS now.
-func (s *Sim) Release(i int) { s.schedule(0, evRelease, int32(i), 0) }
+func (s *Sim) Release(i int) { s.core.Schedule(0, evRelease, int32(i), 0) }
 
 // wrapperTick fires node i's level-2 wrapper and re-arms the timer.
 //
 //gblint:hotpath
 func (s *Sim) wrapperTick(i int) {
 	s.runLevel1(i)
-	msgs := s.wrappers[i].Fire(s.now, s.nodes[i])
+	msgs := s.wrappers[i].Fire(s.core.Now(), s.nodes[i])
 	s.send(msgs, true)
-	s.schedule(s.cfg.WrapperEvery, evWrapperTick, int32(i), 0)
+	s.core.Schedule(s.cfg.WrapperEvery, evWrapperTick, int32(i), 0)
 }
 
-// dispatch executes one event record.
+// dispatch executes one engine event record.
 //
 //gblint:hotpath
-func (s *Sim) dispatch(ev *event) {
-	switch ev.kind {
+func (s *Sim) dispatch(ev *engine.Event) {
+	switch ev.Kind {
 	case evDeliver:
-		s.deliver(channel.Endpoint{Src: int(ev.a), Dst: int(ev.b)})
+		s.deliver(channel.Endpoint{Src: int(ev.A), Dst: int(ev.B)})
 	case evClientTick:
-		s.clientTick(int(ev.a))
+		s.clientTick(int(ev.A))
 	case evWrapperTick:
-		s.wrapperTick(int(ev.a))
+		s.wrapperTick(int(ev.A))
 	case evRequest:
-		s.doRequest(int(ev.a))
+		s.doRequest(int(ev.A))
 	case evRelease:
-		s.release(int(ev.a))
+		s.release(int(ev.A))
 	default:
-		ev.act(s)
+		ev.Call()
 		// The closure may have mutated any node or channel (fault
 		// injection does exactly that), so cached snapshots are stale.
 		s.dirtyAll()
+	}
+}
+
+// afterEvent is the engine's per-event hook: metrics and the observer.
+//
+//gblint:hotpath
+func (s *Sim) afterEvent() {
+	s.metrics.Events++
+	s.ins.events.Inc()
+	if s.observer != nil {
+		s.observer(s)
 	}
 }
 
@@ -604,26 +588,8 @@ func (s *Sim) Run(horizon int64) int64 {
 	// State may have been mutated directly between Run calls (tests poke
 	// channels and nodes through Net and Node); invalidate snapshots once.
 	s.dirtyAll()
-	var n int64
-	for !s.stopped {
-		ev, ok := s.queue.peek()
-		if !ok || ev.time > horizon {
-			break
-		}
-		s.queue.pop()
-		s.now = ev.time
-		s.dispatch(&ev)
-		s.metrics.Events++
-		s.ins.events.Inc()
-		n++
-		if s.observer != nil {
-			s.observer(s)
-		}
-	}
-	if s.now < horizon {
-		s.now = horizon
-	}
-	s.ins.simTime.Set(s.now)
+	n := s.core.Run(horizon)
+	s.ins.simTime.Set(s.core.Now())
 	return n
 }
 
@@ -640,7 +606,7 @@ func (s *Sim) Snapshot() GlobalState {
 //
 //gblint:hotpath
 func (s *Sim) SnapshotInto(g *GlobalState) {
-	g.Time = s.now
+	g.Time = s.core.Now()
 	if cap(g.Nodes) < s.cfg.N {
 		g.Nodes = make([]tme.SpecState, s.cfg.N)
 	}
@@ -682,7 +648,7 @@ type SnapVersions struct {
 //
 //gblint:hotpath
 func (s *Sim) SnapshotDeltaInto(g *GlobalState, v *SnapVersions) {
-	g.Time = s.now
+	g.Time = s.core.Now()
 	n := s.cfg.N
 	full := v.global != s.verGlobal || len(v.nodes) != n
 	if cap(g.Nodes) < n {
@@ -708,77 +674,11 @@ func (s *Sim) SnapshotDeltaInto(g *GlobalState, v *SnapVersions) {
 
 // endpoints caches the deterministic endpoint order.
 func (s *Sim) endpoints() []channel.Endpoint {
-	if s.eps == nil {
-		s.eps = s.net.Endpoints()
-	}
-	return s.eps
+	return s.mesh.Endpoints()
 }
 
 // String summarizes the run for logs.
 func (s *Sim) String() string {
 	return fmt.Sprintf("sim{n=%d t=%d entries=%d msgs=%d+%d}",
-		s.cfg.N, s.now, len(s.metrics.Entries), s.metrics.ProgramMsgs, s.metrics.WrapperMsgs)
+		s.cfg.N, s.core.Now(), len(s.metrics.Entries), s.metrics.ProgramMsgs, s.metrics.WrapperMsgs)
 }
-
-// eventHeap is a binary min-heap ordered by (time, seq).
-type eventHeap struct {
-	items []event
-}
-
-func (h *eventHeap) less(i, j int) bool {
-	if h.items[i].time != h.items[j].time {
-		return h.items[i].time < h.items[j].time
-	}
-	return h.items[i].seq < h.items[j].seq
-}
-
-//gblint:hotpath
-func (h *eventHeap) push(e event) {
-	h.items = append(h.items, e)
-	i := len(h.items) - 1
-	for i > 0 {
-		parent := (i - 1) / 2
-		if !h.less(i, parent) {
-			break
-		}
-		h.items[i], h.items[parent] = h.items[parent], h.items[i]
-		i = parent
-	}
-}
-
-func (h *eventHeap) peek() (event, bool) {
-	if len(h.items) == 0 {
-		return event{}, false
-	}
-	return h.items[0], true
-}
-
-func (h *eventHeap) pop() (event, bool) {
-	if len(h.items) == 0 {
-		return event{}, false
-	}
-	top := h.items[0]
-	last := len(h.items) - 1
-	h.items[0] = h.items[last]
-	h.items[last] = event{} // release the closure, if any, to the GC
-	h.items = h.items[:last]
-	i := 0
-	for {
-		l, r := 2*i+1, 2*i+2
-		smallest := i
-		if l < len(h.items) && h.less(l, smallest) {
-			smallest = l
-		}
-		if r < len(h.items) && h.less(r, smallest) {
-			smallest = r
-		}
-		if smallest == i {
-			break
-		}
-		h.items[i], h.items[smallest] = h.items[smallest], h.items[i]
-		i = smallest
-	}
-	return top, true
-}
-
-func (h *eventHeap) len() int { return len(h.items) }

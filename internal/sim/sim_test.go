@@ -1,7 +1,6 @@
 package sim
 
 import (
-	"math/rand"
 	"testing"
 
 	"github.com/graybox-stabilization/graybox/internal/channel"
@@ -14,37 +13,6 @@ import (
 
 func raFactory(id, n int) tme.Node      { return ra.New(id, n) }
 func lamportFactory(id, n int) tme.Node { return lamport.New(id, n) }
-
-func TestEventHeapOrdering(t *testing.T) {
-	var h eventHeap
-	rng := rand.New(rand.NewSource(1))
-	const k = 500
-	for i := 0; i < k; i++ {
-		h.push(event{time: int64(rng.Intn(50)), seq: uint64(i)})
-	}
-	if h.len() != k {
-		t.Fatalf("len = %d", h.len())
-	}
-	var prev event
-	for i := 0; i < k; i++ {
-		e, ok := h.pop()
-		if !ok {
-			t.Fatal("pop failed")
-		}
-		if i > 0 {
-			if e.time < prev.time || (e.time == prev.time && e.seq < prev.seq) {
-				t.Fatalf("heap order violated: %v after %v", e, prev)
-			}
-		}
-		prev = e
-	}
-	if _, ok := h.pop(); ok {
-		t.Error("pop on empty heap succeeded")
-	}
-	if _, ok := h.peek(); ok {
-		t.Error("peek on empty heap succeeded")
-	}
-}
 
 func TestNewValidatesConfig(t *testing.T) {
 	defer func() {

@@ -1,0 +1,108 @@
+package sim
+
+import (
+	"math/rand"
+
+	"github.com/graybox-stabilization/graybox/internal/channel"
+	"github.com/graybox-stabilization/graybox/internal/tme"
+)
+
+// This file implements engine.Surface (and the richer TME-aware extension
+// the fault injector type-asserts for), so that one substrate-agnostic
+// injector drives faults into the TME model. The generic Fault* methods
+// keep incremental snapshots honest by bumping the dirty counters the
+// same way the simulator's own mutations do.
+
+// Channels enumerates the mesh's channels in deterministic order.
+func (s *Sim) Channels() []channel.Endpoint { return s.endpoints() }
+
+// QueueLen returns the number of messages in flight on ep.
+func (s *Sim) QueueLen(ep channel.Endpoint) int {
+	q := s.net.Chan(ep.Src, ep.Dst)
+	if q == nil {
+		return 0
+	}
+	return q.Len()
+}
+
+// FaultDrop removes the i-th in-flight message on ep.
+func (s *Sim) FaultDrop(ep channel.Endpoint, i int) bool {
+	q := s.net.Chan(ep.Src, ep.Dst)
+	if q == nil || !q.Drop(i) {
+		return false
+	}
+	s.dirtyNet()
+	return true
+}
+
+// FaultDuplicate duplicates the i-th in-flight message on ep and gives the
+// copy its own delivery opportunity after redeliver ticks.
+func (s *Sim) FaultDuplicate(ep channel.Endpoint, i int, redeliver int64) bool {
+	q := s.net.Chan(ep.Src, ep.Dst)
+	if q == nil || !q.Duplicate(i) {
+		return false
+	}
+	s.dirtyNet()
+	s.ScheduleDelivery(ep, redeliver)
+	return true
+}
+
+// FaultCorrupt damages the i-th in-flight message on ep with a generic
+// field overwrite drawn from rng. TME-aware injectors use MutateInFlight
+// for the paper's field-by-field corruption model instead.
+func (s *Sim) FaultCorrupt(ep channel.Endpoint, i int, rng *rand.Rand) bool {
+	return s.MutateInFlight(ep, i, func(m *tme.Message) {
+		m.From = rng.Intn(s.cfg.N + 1) // may be out of range: receivers drop it
+	})
+}
+
+// FaultPerturb corrupts the local state of process id, scrambling its
+// implementation-internal structures from rng. Returns false when the node
+// does not support corruption.
+func (s *Sim) FaultPerturb(id int, rng *rand.Rand) bool {
+	if id < 0 || id >= s.cfg.N {
+		return false
+	}
+	node, ok := s.nodes[id].(tme.Corruptible)
+	if !ok {
+		return false
+	}
+	node.Corrupt(tme.Corruption{ScrambleInternal: true, Seed: rng.Int63()})
+	s.dirtyNode(id)
+	return true
+}
+
+// FaultFlush drops every in-flight message on ep.
+func (s *Sim) FaultFlush(ep channel.Endpoint) bool {
+	q := s.net.Chan(ep.Src, ep.Dst)
+	if q == nil {
+		return false
+	}
+	q.Clear()
+	s.dirtyNet()
+	return true
+}
+
+// MutateInFlight applies f to the i-th in-flight message on ep — the
+// TME-typed corruption hook behind the generic fault surface.
+func (s *Sim) MutateInFlight(ep channel.Endpoint, i int, f func(*tme.Message)) bool {
+	q := s.net.Chan(ep.Src, ep.Dst)
+	if q == nil || !q.Mutate(i, f) {
+		return false
+	}
+	s.dirtyNet()
+	return true
+}
+
+// CorruptibleNode returns process id's corruption hook, or nil when the
+// node does not support state corruption.
+func (s *Sim) CorruptibleNode(id int) tme.Corruptible {
+	if id < 0 || id >= s.cfg.N {
+		return nil
+	}
+	node, ok := s.nodes[id].(tme.Corruptible)
+	if !ok {
+		return nil
+	}
+	return node
+}

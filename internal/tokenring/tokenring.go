@@ -21,10 +21,15 @@
 // circulates forever.
 package tokenring
 
-import (
-	"fmt"
-	"math/rand"
-)
+import "fmt"
+
+// Rand is the random source the ring's daemon and corruption draw from.
+// *math/rand.Rand satisfies it, as do the engine's derived seeded streams
+// (engine.Core.Stream), which the engine-backed Sim in this package uses so
+// that E10 runs are reproducible from a single Config.Seed.
+type Rand interface {
+	Intn(n int) int
+}
 
 // Ring is one K-state token ring instance. Construct with New.
 type Ring struct {
@@ -113,7 +118,7 @@ func (r *Ring) Step(i int) bool {
 
 // Corrupt assigns arbitrary counters to every machine (transient state
 // corruption of the whole ring), drawn from rng.
-func (r *Ring) Corrupt(rng *rand.Rand) {
+func (r *Ring) Corrupt(rng Rand) {
 	for i := range r.x {
 		r.x[i] = rng.Intn(r.k)
 	}
@@ -138,7 +143,7 @@ func (r *Ring) String() string {
 // per step, chosen uniformly by rng) until the ring is legitimate or limit
 // moves have been made. It returns the number of moves and whether the ring
 // converged. Dijkstra's theorem: for K ≥ n, convergence always occurs.
-func (r *Ring) Converge(rng *rand.Rand, limit int) (moves int, converged bool) {
+func (r *Ring) Converge(rng Rand, limit int) (moves int, converged bool) {
 	for moves = 0; moves < limit; moves++ {
 		if r.Legitimate() {
 			return moves, true
