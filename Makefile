@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build lint test race test-race cover bench bench-baseline bench-compare experiments examples fuzz clean
+.PHONY: all build lint test race test-race cover bench bench-baseline bench-compare experiments examples fuzz soak clean
 
 all: build test test-race
 
@@ -24,11 +24,18 @@ race:
 	$(GO) test -race ./...
 
 # Focused race pass over the concurrent packages (the goroutine runtime, the
-# observability instruments it publishes to, and the harness's parallel
-# sweep, which must equal a sequential sweep bit-for-bit).
+# wire layer's sockets and chaos proxy, the observability instruments they
+# publish to, and the harness's parallel sweep, which must equal a
+# sequential sweep bit-for-bit).
 test-race:
-	$(GO) test -race ./internal/runtime/... ./internal/obs/...
+	$(GO) test -race ./internal/runtime/... ./internal/wire/... ./internal/obs/...
 	$(GO) test -race -run ParMap ./internal/harness/
+
+# Race-enabled soak: a 5-node live TCP loopback cluster under the seeded
+# chaos schedule; fails unless it converges with zero post-convergence
+# safety violations.
+soak:
+	$(GO) run -race ./cmd/gbload -n 5 -duration 10s -seed 1 -check
 
 cover:
 	$(GO) test -cover ./...
@@ -43,7 +50,7 @@ bench-baseline:
 # Re-measure and diff against the committed baseline; exits non-zero when
 # ns/op or allocs/op regressed beyond the tolerance.
 bench-compare:
-	$(GO) run ./cmd/bench -out BENCH_PR4.json -compare BENCH_PR2.json
+	$(GO) run ./cmd/bench -out BENCH_PR5.json -compare BENCH_PR4.json
 
 # Regenerate every experiment table of EXPERIMENTS.md (full scale ≈ 30 min).
 experiments:
@@ -66,6 +73,7 @@ fuzz:
 	$(GO) test -run=Fuzz -fuzz=FuzzAcceptForward -fuzztime=15s ./internal/ring/
 	$(GO) test -run=Fuzz -fuzz=FuzzParseSystem -fuzztime=15s ./cmd/gbcheck/
 	$(GO) test -run=Fuzz -fuzz=FuzzEventHeap -fuzztime=15s ./internal/engine/
+	$(GO) test -run=Fuzz -fuzz=FuzzDecodeFrame -fuzztime=15s ./internal/wire/
 
 clean:
 	$(GO) clean ./...

@@ -1,0 +1,236 @@
+// Command gbload drives load against a graybox cluster and reports
+// throughput, CS-entry latency percentiles, safety, and convergence time
+// as an obs metrics snapshot (the same JSON shape cmd/bench reads, so
+// snapshots diff with `bench -compare`).
+//
+// Loopback mode (default): boot an n-node cluster in-process — one
+// runtime.Cluster per node over real TCP loopback sockets — pipe every
+// message through the wire.Chaos proxy, and inject the seeded fault
+// schedule (message loss, duplication, corruption, state perturbation,
+// flush, plus a partition/heal pair). The schedule is fully determined by
+// -seed: same seed, same fault plan (timings are wall-clock and are not).
+//
+//	gbload -n 5 -duration 10s -seed 1 -check
+//
+// -check makes the run a gate: exit non-zero unless the cluster converged
+// with zero safety violations after convergence. -schedule-out writes the
+// pre-drawn fault plan as JSON (two runs with the same seed write
+// byte-identical plans).
+//
+// Remote mode: -connect polls the /metrics.json endpoints of running
+// gbnode processes for -duration and reports the merged snapshot plus the
+// observed entry rate. No faults are injected (the chaos proxy is in the
+// loopback path only).
+//
+//	gbload -connect 127.0.0.1:8000,127.0.0.1:8001 -duration 10s
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"github.com/graybox-stabilization/graybox/internal/fault"
+	"github.com/graybox-stabilization/graybox/internal/harness"
+	"github.com/graybox-stabilization/graybox/internal/obs"
+	"github.com/graybox-stabilization/graybox/internal/wire"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "gbload:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out, errOut io.Writer) error {
+	fs := flag.NewFlagSet("gbload", flag.ContinueOnError)
+	n := fs.Int("n", 3, "cluster size (loopback mode)")
+	duration := fs.Duration("duration", 2*time.Second, "measured run length")
+	seed := fs.Int64("seed", 1, "seed for the fault schedule, chaos delays, and think times")
+	algo := fs.String("algo", "ra", "protocol: ra or lamport")
+	delta := fs.Duration("delta", 25*time.Millisecond, "W' wrapper timeout (negative disables the wrapper)")
+	bursts := fs.Int("bursts", 3, "fault bursts in the schedule (0 disables)")
+	maxPerBurst := fs.Int("max-per-burst", 4, "max injector faults per burst")
+	partition := fs.Bool("partition", true, "include a partition/heal pair in the schedule")
+	outPath := fs.String("out", "-", `snapshot output file ("-" = stdout)`)
+	check := fs.Bool("check", false, "exit non-zero unless converged with zero post-convergence violations")
+	schedOut := fs.String("schedule-out", "", "also write the pre-drawn fault schedule JSON to this file")
+	connect := fs.String("connect", "", "comma-separated gbnode /metrics.json addresses: observe a remote cluster instead of booting loopback")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	// Status lines move to stderr when the snapshot goes to stdout.
+	status := out
+	if *outPath == "-" {
+		status = errOut
+	}
+
+	if *connect != "" {
+		return runRemote(strings.Split(*connect, ","), *duration, *outPath, out, status)
+	}
+
+	var a harness.Algo
+	switch strings.ToLower(*algo) {
+	case "ra", "ricart-agrawala":
+		a = harness.RA
+	case "lamport":
+		a = harness.Lamport
+	default:
+		return fmt.Errorf("unknown -algo %q (want ra or lamport)", *algo)
+	}
+
+	sched := wire.NewFaultSchedule(*seed, wire.ScheduleConfig{
+		N: *n, Duration: *duration,
+		Bursts: *bursts, MaxPerBurst: *maxPerBurst,
+		Mix: fault.DefaultMix, Partition: *partition,
+	})
+	if *schedOut != "" {
+		if err := os.WriteFile(*schedOut, sched.JSON(), 0o644); err != nil {
+			return fmt.Errorf("write -schedule-out: %w", err)
+		}
+		fmt.Fprintf(status, "gbload: wrote fault schedule (%d events) to %s\n", len(sched.Events), *schedOut)
+	}
+
+	o := obs.New(obs.Options{})
+	fmt.Fprintf(status, "gbload: loopback cluster n=%d algo=%v delta=%v duration=%v seed=%d (%d scheduled events)\n",
+		*n, a, *delta, *duration, *seed, len(sched.Events))
+	res, err := harness.RunLive(harness.LiveConfig{
+		N: *n, Algo: a, Seed: *seed, Duration: *duration,
+		Delta: *delta, Schedule: sched, Obs: o,
+	})
+	if err != nil {
+		return err
+	}
+
+	recordResult(o.Registry(), res)
+	fmt.Fprintf(status, "gbload: %d entries (%.0f/s), p50/p95/p99 %d/%d/%d µs, %d faults, %d violations (%d after convergence), converged=%v in %dms\n",
+		res.Entries, res.ThroughputPerSec,
+		res.LatP50US, res.LatP95US, res.LatP99US,
+		res.FaultsApplied, res.SafetyViolations, res.SafetyViolationsAfterConvergence,
+		res.Converged, res.ConvergenceMS)
+	if err := writeSnapshot(*outPath, out, o.Registry(), status); err != nil {
+		return err
+	}
+	if *check {
+		if !res.Converged {
+			return fmt.Errorf("check failed: cluster did not converge (last fault at %dms)", res.LastFaultMS)
+		}
+		if res.SafetyViolationsAfterConvergence > 0 {
+			return fmt.Errorf("check failed: %d safety violations after convergence", res.SafetyViolationsAfterConvergence)
+		}
+		fmt.Fprintln(status, "gbload: check passed (converged, zero post-convergence violations)")
+	}
+	return nil
+}
+
+// recordResult publishes the run's headline measurements as gbload_*
+// gauges so the snapshot carries them alongside the runtime/wire/chaos
+// instruments.
+func recordResult(r *obs.Registry, res harness.LiveResult) {
+	set := func(name, help string, v int64) { r.Gauge(name, help).Set(v) }
+	set("gbload_n", "cluster size", int64(res.N))
+	set("gbload_duration_ms", "measured run length", res.DurationMS)
+	set("gbload_entries", "CS entries across the cluster", int64(res.Entries))
+	set("gbload_requests", "CS requests issued by the drivers", int64(res.Requests))
+	set("gbload_throughput_per_sec", "CS entries per second (rounded)", int64(res.ThroughputPerSec+0.5))
+	set("gbload_lat_p50_us", "CS-entry latency p50", res.LatP50US)
+	set("gbload_lat_p95_us", "CS-entry latency p95", res.LatP95US)
+	set("gbload_lat_p99_us", "CS-entry latency p99", res.LatP99US)
+	set("gbload_faults_applied", "injector faults plus partition/heal events", int64(res.FaultsApplied))
+	set("gbload_safety_violations", "sampled ME1 violations", int64(res.SafetyViolations))
+	set("gbload_safety_violations_after_convergence", "ME1 violations after the convergence point", int64(res.SafetyViolationsAfterConvergence))
+	set("gbload_convergence_ms", "last fault to convergence point (-1 = never)", res.ConvergenceMS)
+	converged := int64(0)
+	if res.Converged {
+		converged = 1
+	}
+	set("gbload_converged", "1 when progress resumed after the convergence point", converged)
+}
+
+// runRemote observes a running cluster: snapshot every node's
+// /metrics.json, wait, snapshot again, and report the merged final state
+// plus the observed entry rate over the window.
+func runRemote(addrs []string, dur time.Duration, outPath string, out, status io.Writer) error {
+	before, err := fetchMerged(addrs)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(status, "gbload: observing %d node(s) for %v\n", len(addrs), dur)
+	time.Sleep(dur)
+	after, err := fetchMerged(addrs)
+	if err != nil {
+		return err
+	}
+	entries := after.Counter("runtime_entries_total") - before.Counter("runtime_entries_total")
+	r := obs.NewRegistry()
+	r.Gauge("gbload_n", "observed node count").Set(int64(len(addrs)))
+	r.Gauge("gbload_duration_ms", "observation window").Set(dur.Milliseconds())
+	r.Gauge("gbload_entries", "CS entries during the window").Set(entries)
+	if ms := dur.Milliseconds(); ms > 0 {
+		r.Gauge("gbload_throughput_per_sec", "CS entries per second (rounded)").
+			Set((entries*1000 + ms/2) / ms)
+	}
+	merged := r.Snapshot()
+	merged.Merge(after)
+	fmt.Fprintf(status, "gbload: %d entries over %v across %d node(s)\n", entries, dur, len(addrs))
+	return writeSnapshotValue(outPath, out, merged, status)
+}
+
+// fetchMerged pulls /metrics.json from every address and merges the
+// snapshots (counters sum, gauges keep the max).
+func fetchMerged(addrs []string) (*obs.Snapshot, error) {
+	merged := obs.NewSnapshot()
+	client := &http.Client{Timeout: 5 * time.Second}
+	for _, a := range addrs {
+		a = strings.TrimSpace(a)
+		url := a
+		if !strings.Contains(url, "://") {
+			url = "http://" + a
+		}
+		resp, err := client.Get(strings.TrimSuffix(url, "/") + "/metrics.json")
+		if err != nil {
+			return nil, fmt.Errorf("fetch %s: %w", a, err)
+		}
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			return nil, fmt.Errorf("read %s: %w", a, err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			return nil, fmt.Errorf("fetch %s: HTTP %d", a, resp.StatusCode)
+		}
+		s := obs.NewSnapshot()
+		if err := json.Unmarshal(body, s); err != nil {
+			return nil, fmt.Errorf("parse %s: %w", a, err)
+		}
+		merged.Merge(s)
+	}
+	return merged, nil
+}
+
+func writeSnapshot(path string, out io.Writer, r *obs.Registry, status io.Writer) error {
+	return writeSnapshotValue(path, out, r.Snapshot(), status)
+}
+
+func writeSnapshotValue(path string, out io.Writer, s *obs.Snapshot, status io.Writer) error {
+	if path == "-" {
+		return s.WriteJSON(out)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := s.WriteJSON(f); err != nil {
+		return err
+	}
+	fmt.Fprintf(status, "gbload: wrote snapshot to %s\n", path)
+	return nil
+}

@@ -1,0 +1,209 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"sync"
+	"time"
+
+	"github.com/graybox-stabilization/graybox/internal/harness"
+	"github.com/graybox-stabilization/graybox/internal/obs"
+	"github.com/graybox-stabilization/graybox/internal/runtime"
+	"github.com/graybox-stabilization/graybox/internal/tme"
+	"github.com/graybox-stabilization/graybox/internal/wire"
+	"github.com/graybox-stabilization/graybox/internal/wrapper"
+)
+
+// NodeConfig collects everything a single TME node process needs.
+type NodeConfig struct {
+	ID, N       int
+	Listen      string
+	Peers       []string // one address per id; Peers[ID] is replaced by the bound address
+	Algo        harness.Algo
+	Delta       time.Duration // negative = no W' wrapper
+	WrapperTick time.Duration
+	HTTP        string // "" disables the debug HTTP server
+	Think, Eat  time.Duration
+	Duration    time.Duration
+	Seed        int64
+}
+
+// NodeAddrs reports where a started node is reachable.
+type NodeAddrs struct {
+	Transport string
+	HTTP      string
+}
+
+// Node is one running TME process: transport, cluster, client loop, and
+// debug HTTP server.
+type Node struct {
+	cfg       NodeConfig
+	obs       *obs.Obs
+	transport *wire.Transport
+	cluster   *runtime.Cluster
+	httpAddr  string
+	httpStop  func() error
+	stop      chan struct{}
+	wg        sync.WaitGroup
+	once      sync.Once
+}
+
+// StartNode boots the node: TCP transport, runtime cluster hosting the
+// single local process id, wrapper stack, client loop, and HTTP endpoint.
+func StartNode(cfg NodeConfig) (*Node, error) {
+	if cfg.ID < 0 || cfg.ID >= cfg.N {
+		return nil, fmt.Errorf("-id %d out of range for -n %d", cfg.ID, cfg.N)
+	}
+	if cfg.N > 1 && len(cfg.Peers) != cfg.N {
+		return nil, fmt.Errorf("-peers lists %d addresses, want %d (one per id)", len(cfg.Peers), cfg.N)
+	}
+	if cfg.Think <= 0 {
+		cfg.Think = 15 * time.Millisecond
+	}
+	if cfg.Eat <= 0 {
+		cfg.Eat = time.Millisecond
+	}
+	o := newObs()
+	nd := &Node{cfg: cfg, obs: o, stop: make(chan struct{})}
+
+	tr, err := wire.NewTransport(wire.Config{
+		N: cfg.N, Local: []int{cfg.ID}, Listen: cfg.Listen, Obs: o,
+	})
+	if err != nil {
+		return nil, err
+	}
+	nd.transport = tr
+	peers := make([]string, cfg.N)
+	copy(peers, cfg.Peers)
+	peers[cfg.ID] = tr.Addr() // self entry reflects the actual bound port
+	tr.SetPeers(peers)
+
+	var newWrapper func(int) wrapper.Level2
+	if cfg.Delta >= 0 {
+		delta := cfg.Delta.Nanoseconds()
+		newWrapper = func(int) wrapper.Level2 { return wrapper.NewTimed(delta) }
+	}
+	cl, err := runtime.NewCluster(runtime.Config{
+		N: cfg.N, Seed: cfg.Seed, Local: []int{cfg.ID},
+		NewNode:     cfg.Algo.Factory(),
+		NewWrapper:  newWrapper,
+		WrapperTick: cfg.WrapperTick,
+		Level1:      wrapper.PhaseGuard{},
+		Obs:         o,
+		Transport:   tr,
+	})
+	if err != nil {
+		_ = tr.Close()
+		return nil, err
+	}
+	nd.cluster = cl
+
+	if cfg.HTTP != "" {
+		addr, shutdown, err := o.Serve(cfg.HTTP)
+		if err != nil {
+			_ = tr.Close()
+			return nil, err
+		}
+		nd.httpAddr, nd.httpStop = addr, shutdown
+	}
+
+	cl.Start()
+	nd.wg.Add(1)
+	go nd.clientLoop()
+	return nd, nil
+}
+
+// Addr is the transport's bound listen address.
+func (nd *Node) Addr() string { return nd.transport.Addr() }
+
+// SetPeers repoints the transport at the peers' addresses (own entry is
+// pinned to the bound address). Useful when peers bind ephemeral ports.
+func (nd *Node) SetPeers(addrs []string) {
+	peers := make([]string, nd.cfg.N)
+	copy(peers, addrs)
+	peers[nd.cfg.ID] = nd.transport.Addr()
+	nd.transport.SetPeers(peers)
+}
+
+// HTTPAddr is the debug server's bound address ("" when disabled).
+func (nd *Node) HTTPAddr() string { return nd.httpAddr }
+
+// Stop tears the node down: client loop, cluster (which closes the
+// transport), and HTTP server. Idempotent.
+func (nd *Node) Stop() {
+	nd.once.Do(func() {
+		close(nd.stop)
+		nd.wg.Wait()
+		nd.cluster.Stop()
+		if nd.httpStop != nil {
+			_ = nd.httpStop()
+		}
+	})
+}
+
+// WriteSnapshot writes the node's full metrics snapshot as JSON.
+func (nd *Node) WriteSnapshot(w io.Writer) error {
+	return nd.obs.Registry().WriteJSON(w)
+}
+
+// clientLoop is the built-in workload: think a random time, request the
+// CS, eat, release — the same client contract the harness drivers follow.
+func (nd *Node) clientLoop() {
+	defer nd.wg.Done()
+	id := nd.cfg.ID
+	rng := rand.New(rand.NewSource(nd.cfg.Seed + 100 + int64(id)))
+	minThink := nd.cfg.Think / 4
+	if minThink <= 0 || minThink > nd.cfg.Think {
+		minThink = nd.cfg.Think
+	}
+	for {
+		think := minThink + time.Duration(rng.Int63n(int64(nd.cfg.Think-minThink)+1))
+		if !sleepOrStop(nd.stop, think) {
+			return
+		}
+		switch nd.cluster.Phase(id) {
+		case tme.Eating:
+			// A corrupted process can find itself eating without having
+			// asked; the client contract is bounded eating, so release.
+			nd.cluster.Release(id)
+			continue
+		case tme.Thinking:
+		default:
+			continue
+		}
+		nd.cluster.Request(id)
+		for nd.cluster.Phase(id) != tme.Eating {
+			if !sleepOrStop(nd.stop, 200*time.Microsecond) {
+				return
+			}
+		}
+		if !sleepOrStop(nd.stop, nd.cfg.Eat) {
+			nd.cluster.Release(id)
+			return
+		}
+		nd.cluster.Release(id)
+	}
+}
+
+// sleepOrStop waits d or until stop closes; false means stopped.
+func sleepOrStop(stop <-chan struct{}, d time.Duration) bool {
+	if d <= 0 {
+		return true
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-stop:
+		return false
+	}
+}
+
+// newFlagSet returns a flag set that reports errors instead of exiting,
+// so run() stays testable.
+func newFlagSet(name string) *flag.FlagSet {
+	return flag.NewFlagSet(name, flag.ContinueOnError)
+}

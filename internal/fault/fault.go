@@ -88,8 +88,10 @@ var DefaultMix = Mix{Loss: 1, Dup: 1, Corrupt: 1, State: 1, Flush: 1}
 
 func (m Mix) total() int { return m.Loss + m.Dup + m.Corrupt + m.State + m.Flush }
 
-// pick draws a fault class according to the weights.
-func (m Mix) pick(rng *rand.Rand) Kind {
+// Pick draws a fault class according to the weights. Exported so
+// schedule generators (internal/wire's pre-drawn live schedules) share the
+// injector's exact weighting.
+func (m Mix) Pick(rng *rand.Rand) Kind {
 	if m.total() == 0 {
 		m = DefaultMix
 	}
@@ -191,9 +193,20 @@ func (in *Injector) Schedule(s Surface, times []int64, countPerBurst int) {
 
 // one applies a single randomly chosen fault.
 func (in *Injector) one(s Surface) {
+	in.Apply(s, in.mix.Pick(in.rng))
+}
+
+// Apply applies one fault of class kind to s, drawing the fault's details
+// (which channel, which message, what damage) from the injector's source.
+// This is the entry point for pre-drawn schedules — internal/wire's live
+// fault schedules fix the kind sequence up front and Apply each one at its
+// wall-clock offset.
+func (in *Injector) Apply(s Surface, kind Kind) {
+	if kind < MessageLoss || kind > ChannelFlush {
+		return
+	}
 	in.bind(s)
 	in.count++
-	kind := in.mix.pick(in.rng)
 	switch kind {
 	case MessageLoss:
 		in.loss(s)
@@ -299,23 +312,34 @@ func (in *Injector) randomTS(pid int) ltime.Timestamp {
 // RandomCorruption builds an arbitrary transient state corruption for
 // process id of n, drawn from the injector's source.
 func (in *Injector) RandomCorruption(id, n int) tme.Corruption {
-	c := tme.Corruption{Seed: in.rng.Int63()}
-	if in.rng.Intn(2) == 0 {
-		if in.opts.AllowInvalidPhase && in.rng.Intn(4) == 0 {
-			c.Phase = tme.Phase(4 + in.rng.Intn(8))
+	return RandomCorruptionFrom(in.rng, id, n, in.opts)
+}
+
+// RandomCorruptionFrom builds an arbitrary transient state corruption for
+// process id of n from an explicit source — for callers (the live chaos
+// proxy's perturb hook) that corrupt node state outside an Injector.
+func RandomCorruptionFrom(rng *rand.Rand, id, n int, opts Options) tme.Corruption {
+	opts = opts.withDefaults()
+	randomTS := func(pid int) ltime.Timestamp {
+		return ltime.Timestamp{Clock: uint64(rng.Int63n(int64(opts.MaxClock))), PID: pid}
+	}
+	c := tme.Corruption{Seed: rng.Int63()}
+	if rng.Intn(2) == 0 {
+		if opts.AllowInvalidPhase && rng.Intn(4) == 0 {
+			c.Phase = tme.Phase(4 + rng.Intn(8))
 		} else {
-			c.Phase = tme.Phase(1 + in.rng.Intn(3))
+			c.Phase = tme.Phase(1 + rng.Intn(3))
 		}
 	}
-	if in.rng.Intn(2) == 0 {
-		ts := in.randomTS(id)
+	if rng.Intn(2) == 0 {
+		ts := randomTS(id)
 		c.REQ = &ts
 	}
-	if in.rng.Intn(2) == 0 {
+	if rng.Intn(2) == 0 {
 		c.LocalREQ = make(map[int]ltime.Timestamp)
 		for k := 0; k < n; k++ {
-			if k != id && in.rng.Intn(2) == 0 {
-				c.LocalREQ[k] = in.randomTS(k)
+			if k != id && rng.Intn(2) == 0 {
+				c.LocalREQ[k] = randomTS(k)
 			}
 		}
 	}
@@ -323,18 +347,18 @@ func (in *Injector) RandomCorruption(id, n int) tme.Corruption {
 		if k == id {
 			continue
 		}
-		switch in.rng.Intn(4) {
+		switch rng.Intn(4) {
 		case 0:
 			c.DropReceived = append(c.DropReceived, k)
 		case 1:
 			c.ForgeReceived = append(c.ForgeReceived, k)
 		}
 	}
-	if in.rng.Intn(3) == 0 {
-		clk := uint64(in.rng.Int63n(int64(in.opts.MaxClock)))
+	if rng.Intn(3) == 0 {
+		clk := uint64(rng.Int63n(int64(opts.MaxClock)))
 		c.Clock = &clk
 	}
-	if in.rng.Intn(3) == 0 {
+	if rng.Intn(3) == 0 {
 		c.ScrambleInternal = true
 	}
 	return c

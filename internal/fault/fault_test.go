@@ -37,7 +37,7 @@ func TestKindString(t *testing.T) {
 func TestMixPickRespectsZeroWeights(t *testing.T) {
 	in := NewInjector(1, Mix{Loss: 1}, Options{})
 	for i := 0; i < 100; i++ {
-		if k := in.mix.pick(in.rng); k != MessageLoss {
+		if k := in.mix.Pick(in.rng); k != MessageLoss {
 			t.Fatalf("pick = %v with loss-only mix", k)
 		}
 	}
@@ -47,7 +47,7 @@ func TestMixPickAllZeroDefaultsUniform(t *testing.T) {
 	in := NewInjector(2, Mix{}, Options{})
 	seen := map[Kind]bool{}
 	for i := 0; i < 500; i++ {
-		seen[in.mix.pick(in.rng)] = true
+		seen[in.mix.Pick(in.rng)] = true
 	}
 	for _, k := range []Kind{MessageLoss, MessageDup, MessageCorrupt, StateCorrupt, ChannelFlush} {
 		if !seen[k] {

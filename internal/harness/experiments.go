@@ -810,5 +810,6 @@ func All(scale Scale) []*Table {
 		RefinementAblation(scale),
 		Level1Ablation(scale),
 		UnifiedFaults(scale),
+		LiveCluster(scale),
 	}
 }

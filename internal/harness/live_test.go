@@ -1,0 +1,118 @@
+package harness
+
+import (
+	"testing"
+	"time"
+
+	"github.com/graybox-stabilization/graybox/internal/fault"
+	"github.com/graybox-stabilization/graybox/internal/wire"
+)
+
+// A fault-free loopback cluster makes progress with zero safety
+// violations.
+func TestRunLiveCleanRun(t *testing.T) {
+	res, err := RunLive(LiveConfig{N: 3, Seed: 1, Duration: 900 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Entries == 0 {
+		t.Fatal("no CS entries in a clean run")
+	}
+	if res.SafetyViolations != 0 {
+		t.Errorf("%d safety violations in a fault-free run", res.SafetyViolations)
+	}
+	if !res.Converged || res.ConvergenceMS != 0 {
+		t.Errorf("clean run: converged=%v convergence=%dms, want true/0", res.Converged, res.ConvergenceMS)
+	}
+	if res.FaultsApplied != 0 {
+		t.Errorf("FaultsApplied = %d without a schedule", res.FaultsApplied)
+	}
+	if res.Snapshot == nil || res.Snapshot.Counter("runtime_entries_total") == 0 {
+		t.Error("snapshot missing runtime entry counter")
+	}
+}
+
+// The partition/heal integration test of the issue: isolate one node, heal,
+// and assert the wrapped cluster re-converges to Lspec-conformant behaviour
+// (progress, no post-convergence violations) within the W' timeout bound.
+func TestRunLivePartitionHealReconverges(t *testing.T) {
+	const (
+		dur   = 2500 * time.Millisecond
+		delta = 25 * time.Millisecond
+	)
+	sched := &wire.FaultSchedule{
+		Seed: 5,
+		Events: []wire.FaultEvent{
+			{AtMS: 500, Verb: "partition", Group: []int{0}},
+			{AtMS: 1100, Verb: "heal"},
+		},
+	}
+	res, err := RunLive(LiveConfig{
+		N: 3, Seed: 5, Duration: dur, Delta: delta, Schedule: sched,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FaultsApplied != 2 {
+		t.Errorf("FaultsApplied = %d, want 2 (partition + heal)", res.FaultsApplied)
+	}
+	if !res.Converged {
+		t.Fatalf("cluster did not re-converge after heal: %+v", res)
+	}
+	if res.SafetyViolationsAfterConvergence != 0 {
+		t.Errorf("%d safety violations after convergence", res.SafetyViolationsAfterConvergence)
+	}
+	if res.ConvergenceMS < 0 {
+		t.Errorf("ConvergenceMS = %d, want finite", res.ConvergenceMS)
+	}
+	// Re-convergence bound: progress must resume within a small number of
+	// W' timeouts after the heal (generous ×20 for loaded CI machines —
+	// the wrapper itself fires within ~2δ).
+	if res.FirstEntryAfterFaultMS < 0 {
+		t.Fatal("no entry after the heal")
+	}
+	healMS := int64(1100)
+	bound := 20 * delta.Milliseconds()
+	if gap := res.FirstEntryAfterFaultMS - healMS; gap > bound {
+		t.Errorf("first entry %dms after heal, want ≤ %dms (W' bound)", gap, bound)
+	}
+}
+
+// A full seeded chaos schedule (every fault class) leaves the wrapped
+// cluster converged.
+func TestRunLiveSeededScheduleConverges(t *testing.T) {
+	dur := 1800 * time.Millisecond
+	sched := wire.NewFaultSchedule(3, wire.ScheduleConfig{
+		N: 3, Duration: dur, Bursts: 3, MaxPerBurst: 3,
+		Mix: fault.DefaultMix, Partition: true,
+	})
+	res, err := RunLive(LiveConfig{N: 3, Seed: 3, Duration: dur, Schedule: sched})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FaultsApplied == 0 {
+		t.Error("schedule applied no faults")
+	}
+	if !res.Converged {
+		t.Fatalf("wrapped cluster did not converge under schedule: %+v", res)
+	}
+	if res.SafetyViolationsAfterConvergence != 0 {
+		t.Errorf("%d violations after convergence", res.SafetyViolationsAfterConvergence)
+	}
+}
+
+func TestLiveClusterTableQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("live experiment")
+	}
+	tab := LiveCluster(Quick)
+	if len(tab.Rows) != 2 {
+		t.Fatalf("E15 rows = %d, want 2", len(tab.Rows))
+	}
+	// The wrapped row (last) must have converged with no post-convergence
+	// violations.
+	wrapped := tab.Rows[len(tab.Rows)-1]
+	if wrapped[6] != "0" || wrapped[7] != "true" {
+		t.Errorf("wrapped row = %v, want after-conv 0 / converged true", wrapped)
+	}
+}

@@ -129,12 +129,17 @@ func DefaultConfig() *Config {
 				"internal/wrapper", "internal/spec", "internal/lspec",
 				"internal/sim", "internal/fault", "internal/harness",
 			}, Reason: "the event engine is protocol-agnostic: substrates build on it, never the reverse"},
+			{Scope: "internal/wire", Deny: []string{
+				"internal/ra", "internal/lamport", "internal/tokenring", "internal/ring",
+				"internal/wrapper", "internal/spec", "internal/lspec",
+				"internal/sim", "internal/runtime", "internal/harness",
+			}, Reason: "the wire layer moves opaque TME frames: it may build on engine/fault/obs but never on protocols, wrappers, specs, or its own consumers"},
 		},
 		DetScope: []string{
 			"internal/sim", "internal/runtime", "internal/harness",
 			"internal/fault", "internal/channel", "internal/lspec",
 			"internal/ra", "internal/lamport", "internal/tokenring", "internal/ring",
-			"internal/engine",
+			"internal/engine", "internal/wire",
 		},
 		DetGoAllowed:   []string{"ParMap"},
 		DetTimeFuncs:   []string{"Now", "Since", "Until"},

@@ -1,0 +1,106 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func handlerGet(t *testing.T, h http.Handler, path string) (int, string, []byte) {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodGet, path, nil)
+	rr := httptest.NewRecorder()
+	h.ServeHTTP(rr, req)
+	return rr.Code, rr.Header().Get("Content-Type"), rr.Body.Bytes()
+}
+
+func TestHandlerMetricsJSON(t *testing.T) {
+	o := New(Options{TraceCapacity: 8})
+	o.Registry().Counter("demo_total", "demo counter").Add(3)
+	o.Registry().Gauge("demo_gauge", "demo gauge").Set(-7)
+
+	code, ctype, body := handlerGet(t, o.Handler(), "/metrics.json")
+	if code != http.StatusOK {
+		t.Fatalf("GET /metrics.json = %d", code)
+	}
+	if ctype != "application/json" {
+		t.Errorf("Content-Type = %q", ctype)
+	}
+	s := NewSnapshot()
+	if err := json.Unmarshal(body, s); err != nil {
+		t.Fatalf("body is not a snapshot: %v\n%s", err, body)
+	}
+	if s.Counter("demo_total") != 3 || s.Gauge("demo_gauge", 0) != -7 {
+		t.Errorf("snapshot = %+v", s)
+	}
+
+	// The endpoint is a live view, not a point-in-time copy.
+	o.Registry().Counter("demo_total", "demo counter").Inc()
+	_, _, body = handlerGet(t, o.Handler(), "/metrics.json")
+	s = NewSnapshot()
+	if err := json.Unmarshal(body, s); err != nil {
+		t.Fatal(err)
+	}
+	if s.Counter("demo_total") != 4 {
+		t.Errorf("second read counter = %d, want 4", s.Counter("demo_total"))
+	}
+}
+
+func TestHandlerPrometheusText(t *testing.T) {
+	o := New(Options{})
+	o.Registry().Counter("demo_total", "demo counter").Inc()
+	code, ctype, body := handlerGet(t, o.Handler(), "/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("GET /metrics = %d", code)
+	}
+	if !strings.HasPrefix(ctype, "text/plain") {
+		t.Errorf("Content-Type = %q", ctype)
+	}
+	if !strings.Contains(string(body), "demo_total 1") {
+		t.Errorf("exposition missing counter:\n%s", body)
+	}
+}
+
+func TestHandlerTrace(t *testing.T) {
+	o := New(Options{TraceCapacity: 4})
+	o.Tracer().Emit(Event{Detail: "hello"})
+	code, _, body := handlerGet(t, o.Handler(), "/trace")
+	if code != http.StatusOK {
+		t.Fatalf("GET /trace = %d", code)
+	}
+	if !strings.Contains(string(body), "hello") {
+		t.Errorf("trace output missing event:\n%s", body)
+	}
+}
+
+// Serve binds, serves the same handler, and shuts down cleanly.
+func TestServe(t *testing.T) {
+	o := New(Options{})
+	o.Registry().Counter("demo_total", "demo counter").Inc()
+	addr, shutdown, err := o.Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get("http://" + addr + "/metrics.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	s := NewSnapshot()
+	if err := json.Unmarshal(body, s); err != nil {
+		t.Fatal(err)
+	}
+	if s.Counter("demo_total") != 1 {
+		t.Errorf("served counter = %d", s.Counter("demo_total"))
+	}
+	if err := shutdown(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := http.Get("http://" + addr + "/metrics.json"); err == nil {
+		t.Error("server still reachable after shutdown")
+	}
+}

@@ -1,8 +1,11 @@
-// Package runtime executes a TME system on real goroutines and channels —
-// the concurrent counterpart of internal/sim. Each process runs its own
-// event-loop goroutine; each directed edge has a forwarder goroutine that
-// imposes (seeded) random delay while preserving FIFO order; a lossy
-// transport option injects message loss and duplication in flight.
+// Package runtime executes a TME system on real goroutines — the
+// concurrent counterpart of internal/sim. Each process runs its own
+// event-loop goroutine; messages travel through a pluggable Transport. The
+// default in-process transport gives each directed edge a forwarder
+// goroutine that imposes (seeded) random delay while preserving FIFO
+// order, with optional message loss and duplication in flight;
+// internal/wire supplies a TCP transport with the same contract, so one
+// event loop serves both single-process demos and real clusters.
 //
 // The simulator is the measurement substrate (deterministic virtual time);
 // this package demonstrates the same wrapper recovering real concurrent
@@ -11,7 +14,6 @@ package runtime
 
 import (
 	"fmt"
-	"math/rand"
 	"sync"
 	"time"
 
@@ -45,6 +47,17 @@ type Config struct {
 	// instruments are goroutine-safe; nil disables observability at
 	// nil-method-call cost.
 	Obs *obs.Obs
+	// Transport, when non-nil, carries inter-process messages instead of
+	// the default in-process goroutine/mailbox mesh (which uses the
+	// MinDelay/MaxDelay/LossRate/DupRate knobs above). internal/wire's TCP
+	// transport satisfies this seam. The cluster owns the transport: Stop
+	// closes it.
+	Transport Transport
+	// Local lists the process ids hosted by this cluster (event loop +
+	// node state). Empty means all N — the single-process default. With a
+	// subset, messages to remote ids go through Transport and calls
+	// addressing remote ids are no-ops.
+	Local []int
 }
 
 func (c Config) withDefaults() Config {
@@ -71,13 +84,12 @@ type Entry struct {
 // Cluster is a running TME system on goroutines. Construct with NewCluster,
 // then Start; always Stop to reclaim every goroutine.
 type Cluster struct {
-	cfg   Config
-	procs []*proc
-	edges []*edge
-	ins   rtInstruments
+	cfg       Config
+	procs     []*proc // indexed by id; nil for ids not in cfg.Local
+	transport Transport
+	ins       rtInstruments
 
 	mu      sync.Mutex
-	rng     *rand.Rand
 	entries []Entry
 	onEntry func(Entry)
 
@@ -129,12 +141,6 @@ type proc struct {
 	inbox *mailbox[tme.Message]
 }
 
-// edge is one directed transport link with FIFO-preserving delay.
-type edge struct {
-	src, dst int
-	queue    *mailbox[tme.Message]
-}
-
 // NewCluster builds a cluster; it does not start any goroutine.
 func NewCluster(cfg Config) (*Cluster, error) {
 	if cfg.N < 1 || cfg.NewNode == nil {
@@ -142,23 +148,36 @@ func NewCluster(cfg Config) (*Cluster, error) {
 	}
 	c := &Cluster{
 		cfg:  cfg.withDefaults(),
-		rng:  rand.New(rand.NewSource(cfg.Seed)),
 		ins:  newRTInstruments(cfg.Obs),
 		stop: make(chan struct{}),
 	}
+	local := make([]bool, cfg.N)
+	if len(cfg.Local) == 0 {
+		for i := range local {
+			local[i] = true
+		}
+	} else {
+		for _, id := range cfg.Local {
+			if id < 0 || id >= cfg.N {
+				return nil, fmt.Errorf("runtime: Config.Local id %d out of range [0,%d)", id, cfg.N)
+			}
+			local[id] = true
+		}
+	}
+	c.procs = make([]*proc, cfg.N)
 	for i := 0; i < cfg.N; i++ {
+		if !local[i] {
+			continue
+		}
 		p := &proc{id: i, node: cfg.NewNode(i, cfg.N), inbox: newMailbox[tme.Message]()}
 		if cfg.NewWrapper != nil {
 			p.wrap = wrapper.InstrumentLevel2(cfg.Obs, i, cfg.NewWrapper(i))
 		}
-		c.procs = append(c.procs, p)
+		c.procs[i] = p
 	}
-	for s := 0; s < cfg.N; s++ {
-		for d := 0; d < cfg.N; d++ {
-			if s != d {
-				c.edges = append(c.edges, &edge{src: s, dst: d, queue: newMailbox[tme.Message]()})
-			}
-		}
+	c.transport = cfg.Transport
+	if c.transport == nil {
+		c.transport = newChanTransport(c.cfg, &c.ins)
 	}
 	return c, nil
 }
@@ -167,9 +186,13 @@ func NewCluster(cfg Config) (*Cluster, error) {
 // loop) at every CS entry. Install before Start.
 func (c *Cluster) OnEntry(f func(Entry)) { c.onEntry = f }
 
-// Start launches the event-loop and forwarder goroutines.
+// Start launches the transport and the event-loop goroutines.
 func (c *Cluster) Start() {
+	c.transport.Start(c.deliver)
 	for _, p := range c.procs {
+		if p == nil {
+			continue
+		}
 		p := p
 		c.wg.Add(1)
 		//gblint:ignore determinism this package IS the real-concurrency substrate; determinism is the simulator's job
@@ -178,21 +201,27 @@ func (c *Cluster) Start() {
 			c.eventLoop(p)
 		}()
 	}
-	for _, e := range c.edges {
-		e := e
-		c.wg.Add(1)
-		//gblint:ignore determinism one forwarder goroutine per edge is the package's execution model
-		go func() {
-			defer c.wg.Done()
-			c.forward(e)
-		}()
-	}
 }
 
-// Stop terminates every goroutine and waits for them to exit.
+// Stop terminates every goroutine (event loops, then the transport's) and
+// waits for them to exit.
 func (c *Cluster) Stop() {
-	c.once.Do(func() { close(c.stop) })
+	c.once.Do(func() {
+		close(c.stop)
+		c.wg.Wait()
+		_ = c.transport.Close()
+	})
 	c.wg.Wait()
+}
+
+// deliver is the transport's callback: enqueue m for local process dst.
+// Messages to remote or out-of-range ids are dropped (the transport on the
+// hosting machine delivers those).
+func (c *Cluster) deliver(dst int, m tme.Message) {
+	if dst < 0 || dst >= c.cfg.N || c.procs[dst] == nil {
+		return
+	}
+	c.procs[dst].inbox.put(m)
 }
 
 // eventLoop drives one process: deliver messages, run the wrapper on its
@@ -247,77 +276,15 @@ func (c *Cluster) eventLoop(p *proc) {
 	}
 }
 
-// forward drains one edge serially — delay then deliver — so FIFO order is
-// preserved per channel while delays remain random.
-func (c *Cluster) forward(e *edge) {
-	for {
-		select {
-		case <-c.stop:
-			return
-		case <-e.queue.ready():
-			for {
-				m, ok := e.queue.tryGet()
-				if !ok {
-					break
-				}
-				d, lost, dup := c.transportDraw()
-				c.ins.delayUS.Observe(int64(d / time.Microsecond))
-				select {
-				case <-time.After(d):
-				case <-c.stop:
-					return
-				}
-				if lost {
-					c.ins.lost.Inc()
-					if c.ins.trace != nil {
-						//gblint:ignore determinism trace timestamps under the goroutine runtime are wall-clock by definition
-						c.ins.trace.Emit(obs.Event{Time: time.Now().UnixNano(), Kind: obs.EvDrop, A: e.src, B: e.dst})
-					}
-					continue
-				}
-				c.procs[e.dst].inbox.put(m)
-				if dup {
-					c.ins.dup.Inc()
-					c.procs[e.dst].inbox.put(m)
-				}
-			}
-		}
-	}
-}
-
-// transportDraw samples delay and fault outcomes under the cluster lock
-// (rand.Rand is not goroutine-safe).
-func (c *Cluster) transportDraw() (delay time.Duration, lost, dup bool) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	span := int64(c.cfg.MaxDelay - c.cfg.MinDelay)
-	delay = c.cfg.MinDelay
-	if span > 0 {
-		delay += time.Duration(c.rng.Int63n(span + 1))
-	}
-	lost = c.rng.Float64() < c.cfg.LossRate
-	dup = c.rng.Float64() < c.cfg.DupRate
-	return delay, lost, dup
-}
-
-// route dispatches messages onto their edges.
+// route dispatches messages onto the transport.
 func (c *Cluster) route(msgs []tme.Message) {
 	for _, m := range msgs {
 		if m.From < 0 || m.From >= c.cfg.N || m.To < 0 || m.To >= c.cfg.N || m.From == m.To {
 			continue
 		}
-		c.edges[c.edgeIndex(m.From, m.To)].queue.put(m)
+		c.transport.Send(m)
 		c.ins.sent.Inc()
 	}
-}
-
-// edgeIndex maps (src,dst) to the edges slice layout built in NewCluster.
-func (c *Cluster) edgeIndex(src, dst int) int {
-	idx := src * (c.cfg.N - 1)
-	if dst > src {
-		return idx + dst - 1
-	}
-	return idx + dst
 }
 
 func (c *Cluster) recordEntry(id int) {
@@ -345,9 +312,13 @@ func (c *Cluster) Entries() []Entry {
 	return out
 }
 
-// Request asks process id to request the CS (no-op unless thinking).
+// Request asks process id to request the CS (no-op unless thinking, or
+// when id is not hosted locally).
 func (c *Cluster) Request(id int) {
 	p := c.procs[id]
+	if p == nil {
+		return
+	}
 	p.mu.Lock()
 	out := p.node.RequestCS()
 	entered, more := p.node.Step()
@@ -358,26 +329,38 @@ func (c *Cluster) Request(id int) {
 	}
 }
 
-// Release asks process id to release the CS (no-op unless eating).
+// Release asks process id to release the CS (no-op unless eating, or when
+// id is not hosted locally).
 func (c *Cluster) Release(id int) {
 	p := c.procs[id]
+	if p == nil {
+		return
+	}
 	p.mu.Lock()
 	out := p.node.ReleaseCS()
 	p.mu.Unlock()
 	c.route(out)
 }
 
-// Phase returns process id's current phase.
+// Phase returns process id's current phase (the zero Phase when id is not
+// hosted locally).
 func (c *Cluster) Phase(id int) tme.Phase {
 	p := c.procs[id]
+	if p == nil {
+		return 0
+	}
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	return p.node.Phase()
 }
 
-// Snapshot returns process id's spec-level state.
+// Snapshot returns process id's spec-level state (zero value when id is
+// not hosted locally).
 func (c *Cluster) Snapshot(id int) tme.SpecState {
 	p := c.procs[id]
+	if p == nil {
+		return tme.SpecState{}
+	}
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	return tme.Snapshot(p.node)
@@ -387,6 +370,9 @@ func (c *Cluster) Snapshot(id int) tme.SpecState {
 // injection for demos and tests).
 func (c *Cluster) Corrupt(id int, corr tme.Corruption) {
 	p := c.procs[id]
+	if p == nil {
+		return
+	}
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	if node, ok := p.node.(tme.Corruptible); ok {

@@ -355,17 +355,21 @@ func TestEdgeIndexCoversAllPairs(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	tr, ok := c.transport.(*chanTransport)
+	if !ok {
+		t.Fatalf("default transport is %T, want *chanTransport", c.transport)
+	}
 	seen := map[int]bool{}
 	for s := 0; s < 5; s++ {
 		for d := 0; d < 5; d++ {
 			if s == d {
 				continue
 			}
-			idx := c.edgeIndex(s, d)
-			if idx < 0 || idx >= len(c.edges) {
+			idx := tr.edgeIndex(s, d)
+			if idx < 0 || idx >= len(tr.edges) {
 				t.Fatalf("edgeIndex(%d,%d) = %d out of range", s, d, idx)
 			}
-			e := c.edges[idx]
+			e := tr.edges[idx]
 			if e.src != s || e.dst != d {
 				t.Fatalf("edgeIndex(%d,%d) → edge (%d,%d)", s, d, e.src, e.dst)
 			}

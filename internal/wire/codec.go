@@ -1,0 +1,177 @@
+// Package wire carries TME messages across real TCP connections: a
+// length-prefixed binary codec (versioned, stdlib encoding/binary), a
+// transport giving each directed edge a FIFO framed stream with
+// reconnect/backoff, and an in-path fault proxy (Chaos) implementing the
+// engine.Surface fault verbs on live traffic so internal/fault drives real
+// sockets exactly as it drives the simulators.
+//
+// The package sits below the protocol layer: it sees only tme.Message
+// (plus ltime timestamps inside it) and never imports protocols, wrappers,
+// or specs — the graybox rule holds on the wire too. Corrupted or forged
+// frames are delivered as-is when structurally valid (receivers drop
+// semantic garbage, exactly as in the simulator's fault model); frames
+// that are not structurally valid produce an error, never a panic.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+
+	"github.com/graybox-stabilization/graybox/internal/ltime"
+	"github.com/graybox-stabilization/graybox/internal/tme"
+)
+
+// Frame layout, version 1. Everything is big-endian.
+//
+//	offset  size  field
+//	0       4     payload length (uint32; 24 for v1)
+//	4       1     version (1)
+//	5       1     message kind (tme.Kind; forged values round-trip)
+//	6       2     flags (must be zero in v1)
+//	8       8     timestamp clock (uint64)
+//	16      4     timestamp pid (int32)
+//	20      4     from (int32)
+//	24      4     to (int32)
+//
+// The REQ/REP/REL kinds and the wrapper's resent REQs all share this one
+// shape — a wrapper resend is just another Request frame, which is what
+// lets W' stay protocol-shaped on the wire.
+const (
+	// Version is the codec version emitted by this package.
+	Version = 1
+	// lenPrefixSize is the length prefix preceding every payload.
+	lenPrefixSize = 4
+	// payloadV1Size is the fixed v1 payload size.
+	payloadV1Size = 24
+	// FrameSize is the full on-wire size of a v1 frame.
+	FrameSize = lenPrefixSize + payloadV1Size
+	// MaxPayload bounds the payload length a reader will accept, so a
+	// corrupt or hostile length prefix cannot force a huge allocation.
+	MaxPayload = 1 << 12
+)
+
+// Codec errors. Decoding malformed input returns one of these (possibly
+// wrapped); it never panics.
+var (
+	ErrPayloadTooLarge = errors.New("wire: payload length exceeds MaxPayload")
+	ErrBadVersion      = errors.New("wire: unsupported frame version")
+	ErrBadLength       = errors.New("wire: payload length wrong for version")
+	ErrBadFlags        = errors.New("wire: nonzero flags in v1 frame")
+	ErrFieldRange      = errors.New("wire: message field outside encodable range")
+)
+
+// AppendFrame appends the full frame (length prefix + payload) for m to
+// dst and returns the extended slice. It errors when a field does not fit
+// the wire shape (kind outside a byte, ids outside int32) — the codec
+// deliberately accepts invalid-but-encodable values, since the fault model
+// forges them on purpose.
+func AppendFrame(dst []byte, m tme.Message) ([]byte, error) {
+	if m.Kind < 0 || m.Kind > math.MaxUint8 {
+		return dst, fmt.Errorf("%w: kind %d", ErrFieldRange, m.Kind)
+	}
+	if !fitsInt32(m.TS.PID) || !fitsInt32(m.From) || !fitsInt32(m.To) {
+		return dst, fmt.Errorf("%w: pid/from/to (%d,%d,%d)", ErrFieldRange, m.TS.PID, m.From, m.To)
+	}
+	var b [FrameSize]byte
+	binary.BigEndian.PutUint32(b[0:4], payloadV1Size)
+	b[4] = Version
+	b[5] = byte(m.Kind)
+	binary.BigEndian.PutUint16(b[6:8], 0)
+	binary.BigEndian.PutUint64(b[8:16], m.TS.Clock)
+	binary.BigEndian.PutUint32(b[16:20], uint32(int32(m.TS.PID)))
+	binary.BigEndian.PutUint32(b[20:24], uint32(int32(m.From)))
+	binary.BigEndian.PutUint32(b[24:28], uint32(int32(m.To)))
+	return append(dst, b[:]...), nil
+}
+
+func fitsInt32(v int) bool { return v >= math.MinInt32 && v <= math.MaxInt32 }
+
+// DecodePayload decodes one payload (the bytes after the length prefix).
+// Malformed input returns an error; no input panics.
+func DecodePayload(p []byte) (tme.Message, error) {
+	if len(p) < 1 {
+		return tme.Message{}, fmt.Errorf("%w: empty payload", ErrBadLength)
+	}
+	if p[0] != Version {
+		return tme.Message{}, fmt.Errorf("%w: %d", ErrBadVersion, p[0])
+	}
+	if len(p) != payloadV1Size {
+		return tme.Message{}, fmt.Errorf("%w: %d bytes", ErrBadLength, len(p))
+	}
+	if binary.BigEndian.Uint16(p[2:4]) != 0 {
+		return tme.Message{}, ErrBadFlags
+	}
+	return tme.Message{
+		Kind: tme.Kind(p[1]),
+		TS: ltime.Timestamp{
+			Clock: binary.BigEndian.Uint64(p[4:12]),
+			PID:   int(int32(binary.BigEndian.Uint32(p[12:16]))),
+		},
+		From: int(int32(binary.BigEndian.Uint32(p[16:20]))),
+		To:   int(int32(binary.BigEndian.Uint32(p[20:24]))),
+	}, nil
+}
+
+// Writer frames messages onto an io.Writer. Not goroutine-safe.
+type Writer struct {
+	w   io.Writer
+	buf []byte
+}
+
+// NewWriter returns a framing writer over w.
+func NewWriter(w io.Writer) *Writer {
+	return &Writer{w: w, buf: make([]byte, 0, FrameSize)}
+}
+
+// WriteMessage writes one frame. One frame is one Write call, so frames
+// interleave whole on a shared connection only if callers serialize.
+func (w *Writer) WriteMessage(m tme.Message) error {
+	b, err := AppendFrame(w.buf[:0], m)
+	if err != nil {
+		return err
+	}
+	w.buf = b[:0]
+	_, err = w.w.Write(b)
+	return err
+}
+
+// Reader deframes messages from an io.Reader.
+type Reader struct {
+	r   io.Reader
+	buf []byte
+}
+
+// NewReader returns a deframing reader over r.
+func NewReader(r io.Reader) *Reader {
+	return &Reader{r: r, buf: make([]byte, FrameSize)}
+}
+
+// ReadMessage reads one frame. io.EOF at a frame boundary is returned
+// as-is; EOF inside a frame becomes io.ErrUnexpectedEOF. A malformed
+// frame (oversized length, bad version/length/flags) returns an error and
+// leaves the stream mid-frame — callers should drop the connection, since
+// framing is lost.
+func (r *Reader) ReadMessage() (tme.Message, error) {
+	var hdr [lenPrefixSize]byte
+	if _, err := io.ReadFull(r.r, hdr[:]); err != nil {
+		return tme.Message{}, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > MaxPayload {
+		return tme.Message{}, fmt.Errorf("%w: %d", ErrPayloadTooLarge, n)
+	}
+	if int(n) > cap(r.buf) {
+		r.buf = make([]byte, n)
+	}
+	p := r.buf[:n]
+	if _, err := io.ReadFull(r.r, p); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return tme.Message{}, err
+	}
+	return DecodePayload(p)
+}

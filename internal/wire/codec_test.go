@@ -1,0 +1,167 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"math"
+	"testing"
+
+	"github.com/graybox-stabilization/graybox/internal/ltime"
+	"github.com/graybox-stabilization/graybox/internal/tme"
+)
+
+func sampleMessages() []tme.Message {
+	return []tme.Message{
+		{},
+		{Kind: tme.Request, TS: ltime.Timestamp{Clock: 1, PID: 0}, From: 0, To: 1},
+		{Kind: tme.Reply, TS: ltime.Timestamp{Clock: 42, PID: 3}, From: 3, To: 0},
+		{Kind: tme.Release, TS: ltime.Timestamp{Clock: math.MaxUint64, PID: math.MaxInt32}, From: math.MaxInt32, To: math.MinInt32},
+		// Forged kinds and out-of-range ids round-trip: the fault model
+		// manufactures them and receivers are responsible for dropping.
+		{Kind: tme.Kind(0xEE), TS: ltime.Timestamp{Clock: 7, PID: -1}, From: -5, To: 99},
+	}
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	for _, m := range sampleMessages() {
+		b, err := AppendFrame(nil, m)
+		if err != nil {
+			t.Fatalf("AppendFrame(%+v): %v", m, err)
+		}
+		if len(b) != FrameSize {
+			t.Fatalf("frame size = %d, want %d", len(b), FrameSize)
+		}
+		got, err := DecodePayload(b[lenPrefixSize:])
+		if err != nil {
+			t.Fatalf("DecodePayload(%+v): %v", m, err)
+		}
+		if got != m {
+			t.Errorf("round trip: got %+v, want %+v", got, m)
+		}
+	}
+}
+
+func TestAppendFrameRejectsUnencodable(t *testing.T) {
+	bad := []tme.Message{
+		{Kind: -1},
+		{Kind: 256},
+		{From: math.MaxInt32 + 1},
+		{To: math.MinInt32 - 1},
+		{TS: ltime.Timestamp{PID: math.MaxInt32 + 1}},
+	}
+	for _, m := range bad {
+		if _, err := AppendFrame(nil, m); !errors.Is(err, ErrFieldRange) {
+			t.Errorf("AppendFrame(%+v) err = %v, want ErrFieldRange", m, err)
+		}
+	}
+}
+
+func TestDecodePayloadRejectsMalformed(t *testing.T) {
+	good, err := AppendFrame(nil, tme.Message{Kind: tme.Request, From: 0, To: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := good[lenPrefixSize:]
+
+	cases := []struct {
+		name string
+		p    []byte
+		want error
+	}{
+		{"empty", nil, ErrBadLength},
+		{"short", payload[:10], ErrBadLength},
+		{"long", append(append([]byte{}, payload...), 0), ErrBadLength},
+		{"version", append([]byte{9}, payload[1:]...), ErrBadVersion},
+		{"flags", func() []byte {
+			p := append([]byte{}, payload...)
+			p[3] = 1
+			return p
+		}(), ErrBadFlags},
+	}
+	for _, c := range cases {
+		if _, err := DecodePayload(c.p); !errors.Is(err, c.want) {
+			t.Errorf("%s: err = %v, want %v", c.name, err, c.want)
+		}
+	}
+}
+
+func TestReaderWriterStream(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	msgs := sampleMessages()
+	for _, m := range msgs {
+		if err := w.WriteMessage(m); err != nil {
+			t.Fatalf("WriteMessage(%+v): %v", m, err)
+		}
+	}
+	r := NewReader(&buf)
+	for i, want := range msgs {
+		got, err := r.ReadMessage()
+		if err != nil {
+			t.Fatalf("ReadMessage #%d: %v", i, err)
+		}
+		if got != want {
+			t.Errorf("#%d: got %+v, want %+v", i, got, want)
+		}
+	}
+	if _, err := r.ReadMessage(); err != io.EOF {
+		t.Errorf("stream end err = %v, want io.EOF", err)
+	}
+}
+
+func TestReaderTruncatedFrame(t *testing.T) {
+	b, err := AppendFrame(nil, tme.Message{Kind: tme.Reply, From: 1, To: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cut := 1; cut < len(b); cut++ {
+		r := NewReader(bytes.NewReader(b[:cut]))
+		if _, err := r.ReadMessage(); err == nil {
+			t.Fatalf("truncation at %d bytes decoded cleanly", cut)
+		}
+	}
+}
+
+func TestReaderRejectsOversizedLength(t *testing.T) {
+	var hdr [lenPrefixSize]byte
+	binary.BigEndian.PutUint32(hdr[:], MaxPayload+1)
+	r := NewReader(bytes.NewReader(hdr[:]))
+	if _, err := r.ReadMessage(); !errors.Is(err, ErrPayloadTooLarge) {
+		t.Errorf("err = %v, want ErrPayloadTooLarge", err)
+	}
+}
+
+// FuzzDecodeFrame feeds arbitrary byte streams through the deframing
+// reader: malformed input must error, never panic, and anything that
+// decodes must re-encode to an identical payload.
+func FuzzDecodeFrame(f *testing.F) {
+	for _, m := range sampleMessages() {
+		b, err := AppendFrame(nil, m)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(b)
+	}
+	f.Add([]byte{})
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF})
+	f.Add(bytes.Repeat([]byte{0}, FrameSize))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := NewReader(bytes.NewReader(data))
+		for {
+			m, err := r.ReadMessage()
+			if err != nil {
+				return
+			}
+			b, err := AppendFrame(nil, m)
+			if err != nil {
+				t.Fatalf("decoded message %+v does not re-encode: %v", m, err)
+			}
+			got, err := DecodePayload(b[lenPrefixSize:])
+			if err != nil || got != m {
+				t.Fatalf("re-decode mismatch: %+v vs %+v (err %v)", got, m, err)
+			}
+		}
+	})
+}

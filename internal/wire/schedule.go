@@ -1,0 +1,120 @@
+package wire
+
+import (
+	"encoding/json"
+	"math/rand"
+	"sort"
+	"time"
+
+	"github.com/graybox-stabilization/graybox/internal/fault"
+)
+
+// FaultEvent is one planned chaos action, at a fixed offset from run
+// start. The plan is drawn entirely up front from a seed, so two runs
+// with the same seed apply the identical fault sequence even though live
+// queue contents (and therefore each fault's exact victims) differ — the
+// schedule is the deterministic contract, the wire is not.
+type FaultEvent struct {
+	// AtMS is the offset from run start, in milliseconds.
+	AtMS int64 `json:"at_ms"`
+	// Verb is a fault.Kind name ("loss", "dup", "corrupt", "state",
+	// "flush") or the wire-only "partition" / "heal".
+	Verb string `json:"verb"`
+	// Count is how many faults of this kind fire back-to-back (burst
+	// size; 0 means 1). Unused for partition/heal.
+	Count int `json:"count,omitempty"`
+	// Group is the process group isolated by a partition event.
+	Group []int `json:"group,omitempty"`
+}
+
+// FaultKind maps the verb back to its fault.Kind (ok=false for
+// partition/heal, which are the proxy's own verbs).
+func (e FaultEvent) FaultKind() (fault.Kind, bool) {
+	for k := fault.MessageLoss; k <= fault.ChannelFlush; k++ {
+		if e.Verb == k.String() {
+			return k, true
+		}
+	}
+	return 0, false
+}
+
+// FaultSchedule is a seeded, pre-drawn fault plan for a live run.
+type FaultSchedule struct {
+	Seed   int64        `json:"seed"`
+	Events []FaultEvent `json:"events"`
+}
+
+// JSON renders the schedule deterministically (for the same-seed ⇒
+// same-schedule acceptance check and for audit logs).
+func (s *FaultSchedule) JSON() []byte {
+	b, err := json.MarshalIndent(s, "", "  ")
+	if err != nil { // a schedule is plain data; this cannot fail
+		return []byte("{}")
+	}
+	return append(b, '\n')
+}
+
+// ScheduleConfig parameterizes schedule generation.
+type ScheduleConfig struct {
+	// N is the cluster size (required when Partition is set).
+	N int
+	// Duration is the planned run length (required).
+	Duration time.Duration
+	// Bursts is how many fault bursts to plan. Default 3.
+	Bursts int
+	// MaxPerBurst bounds each burst's fault count. Default 4.
+	MaxPerBurst int
+	// Mix weights the fault classes (zero value = fault.DefaultMix).
+	Mix fault.Mix
+	// Partition adds an Isolate/Heal pair around the middle of the run.
+	Partition bool
+}
+
+func (c ScheduleConfig) withDefaults() ScheduleConfig {
+	if c.Bursts <= 0 {
+		c.Bursts = 3
+	}
+	if c.MaxPerBurst <= 0 {
+		c.MaxPerBurst = 4
+	}
+	return c
+}
+
+// NewFaultSchedule draws a fault plan from seed: Bursts bursts of mixed
+// faults inside the first 60% of the run (so convergence after the last
+// fault fits inside the run), plus an optional partition/heal pair. The
+// result is a pure function of (seed, cfg).
+func NewFaultSchedule(seed int64, cfg ScheduleConfig) *FaultSchedule {
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(seed))
+	durMS := cfg.Duration.Milliseconds()
+	if durMS < 1 {
+		durMS = 1
+	}
+	// Faults land in [10%, 60%] of the run.
+	lo, hi := durMS/10, durMS*6/10
+	if hi <= lo {
+		hi = lo + 1
+	}
+	s := &FaultSchedule{Seed: seed}
+	for i := 0; i < cfg.Bursts; i++ {
+		at := lo + rng.Int63n(hi-lo)
+		count := 1 + rng.Intn(cfg.MaxPerBurst)
+		kind := cfg.Mix.Pick(rng)
+		s.Events = append(s.Events, FaultEvent{AtMS: at, Verb: kind.String(), Count: count})
+	}
+	if cfg.Partition && cfg.N > 1 {
+		size := 1
+		if cfg.N > 2 {
+			size += rng.Intn(cfg.N / 2)
+		}
+		group := rng.Perm(cfg.N)[:size]
+		sort.Ints(group)
+		s.Events = append(s.Events,
+			FaultEvent{AtMS: durMS * 3 / 10, Verb: "partition", Group: group},
+			FaultEvent{AtMS: durMS * 55 / 100, Verb: "heal"},
+		)
+	}
+	sort.SliceStable(s.Events, func(i, j int) bool { return s.Events[i].AtMS < s.Events[j].AtMS })
+	return s
+}

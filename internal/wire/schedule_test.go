@@ -1,0 +1,81 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"github.com/graybox-stabilization/graybox/internal/fault"
+)
+
+func scheduleCfg() ScheduleConfig {
+	return ScheduleConfig{N: 5, Duration: 10 * time.Second, Bursts: 4, MaxPerBurst: 5, Partition: true}
+}
+
+// The acceptance property: same seed ⇒ byte-identical schedule.
+func TestScheduleDeterministicForSeed(t *testing.T) {
+	a := NewFaultSchedule(42, scheduleCfg())
+	b := NewFaultSchedule(42, scheduleCfg())
+	if !bytes.Equal(a.JSON(), b.JSON()) {
+		t.Fatalf("same seed produced different schedules:\n%s\nvs\n%s", a.JSON(), b.JSON())
+	}
+	c := NewFaultSchedule(43, scheduleCfg())
+	if bytes.Equal(a.JSON(), c.JSON()) {
+		t.Error("different seeds produced identical schedules")
+	}
+}
+
+func TestScheduleShape(t *testing.T) {
+	cfg := scheduleCfg()
+	s := NewFaultSchedule(7, cfg)
+	durMS := cfg.Duration.Milliseconds()
+	var faults, partitions, heals int
+	last := int64(-1)
+	for _, e := range s.Events {
+		if e.AtMS < last {
+			t.Fatalf("events out of order: %+v", s.Events)
+		}
+		last = e.AtMS
+		if e.AtMS < 0 || e.AtMS > durMS*6/10 {
+			t.Errorf("event at %dms outside the fault window", e.AtMS)
+		}
+		switch e.Verb {
+		case "partition":
+			partitions++
+			if len(e.Group) < 1 || len(e.Group) > cfg.N/2 {
+				t.Errorf("partition group %v out of bounds", e.Group)
+			}
+		case "heal":
+			heals++
+		default:
+			k, ok := e.FaultKind()
+			if !ok {
+				t.Fatalf("unknown verb %q", e.Verb)
+			}
+			if k < fault.MessageLoss || k > fault.ChannelFlush {
+				t.Fatalf("verb %q maps to invalid kind %d", e.Verb, k)
+			}
+			if e.Count < 1 || e.Count > cfg.MaxPerBurst {
+				t.Errorf("burst count %d out of bounds", e.Count)
+			}
+			faults++
+		}
+	}
+	if faults != cfg.Bursts || partitions != 1 || heals != 1 {
+		t.Errorf("schedule has %d bursts / %d partitions / %d heals, want %d/1/1",
+			faults, partitions, heals, cfg.Bursts)
+	}
+}
+
+func TestFaultKindRoundTrip(t *testing.T) {
+	for k := fault.MessageLoss; k <= fault.ChannelFlush; k++ {
+		e := FaultEvent{Verb: k.String()}
+		got, ok := e.FaultKind()
+		if !ok || got != k {
+			t.Errorf("FaultKind(%q) = (%v,%v), want %v", e.Verb, got, ok, k)
+		}
+	}
+	if _, ok := (FaultEvent{Verb: "partition"}).FaultKind(); ok {
+		t.Error("partition mapped to a fault.Kind")
+	}
+}

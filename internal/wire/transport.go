@@ -1,0 +1,424 @@
+package wire
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"github.com/graybox-stabilization/graybox/internal/obs"
+	"github.com/graybox-stabilization/graybox/internal/tme"
+)
+
+// Config parameterizes a TCP transport.
+type Config struct {
+	// N is the cluster size (required, ≥ 1).
+	N int
+	// Local lists the process ids this transport hosts (required, at
+	// least one). Messages to local ids are delivered in-process;
+	// messages to the rest are framed onto per-edge TCP connections.
+	Local []int
+	// Listen is the TCP listen address. Default "127.0.0.1:0" (loopback,
+	// kernel-chosen port — read it back with Addr).
+	Listen string
+	// DialBackoffMin/Max bound the exponential reconnect backoff.
+	// Defaults 20ms / 2s.
+	DialBackoffMin, DialBackoffMax time.Duration
+	// Obs, when non-nil, receives wire metrics (all goroutine-safe).
+	Obs *obs.Obs
+}
+
+func (c Config) withDefaults() Config {
+	if c.Listen == "" {
+		c.Listen = "127.0.0.1:0"
+	}
+	if c.DialBackoffMin <= 0 {
+		c.DialBackoffMin = 20 * time.Millisecond
+	}
+	if c.DialBackoffMax < c.DialBackoffMin {
+		c.DialBackoffMax = 2 * time.Second
+	}
+	return c
+}
+
+// wireInstruments caches the transport's obs handles; nil fields (no
+// observability) make every publish a no-op.
+type wireInstruments struct {
+	sent       *obs.Counter
+	recv       *obs.Counter
+	dropped    *obs.Counter
+	dials      *obs.Counter
+	dialErrors *obs.Counter
+	connErrors *obs.Counter
+}
+
+func newWireInstruments(o *obs.Obs) wireInstruments {
+	if o == nil {
+		return wireInstruments{}
+	}
+	r := o.Registry()
+	return wireInstruments{
+		sent:       r.Counter("wire_msgs_sent_total", "messages framed onto TCP connections"),
+		recv:       r.Counter("wire_msgs_recv_total", "messages deframed from TCP connections"),
+		dropped:    r.Counter("wire_msgs_dropped_total", "messages dropped (unknown peer, no delivery callback, or misrouted)"),
+		dials:      r.Counter("wire_dials_total", "successful TCP dials"),
+		dialErrors: r.Counter("wire_dial_errors_total", "failed TCP dial attempts"),
+		connErrors: r.Counter("wire_conn_errors_total", "connection read/write errors (excluding clean close)"),
+	}
+}
+
+// Transport carries TME messages over TCP: one framed connection per
+// directed edge, established lazily and redialed with exponential backoff,
+// so each edge is a FIFO stream exactly like the simulator's channels. It
+// satisfies the runtime.Transport seam.
+//
+// Lifecycle: NewTransport listens immediately (Addr returns the bound
+// address, useful with ":0"), SetPeers installs the dial addresses, Start
+// installs the delivery callback and begins accepting, Close tears
+// everything down.
+type Transport struct {
+	cfg   Config
+	ln    net.Listener
+	local []bool
+	ins   wireInstruments
+
+	mu      sync.Mutex
+	peers   []string
+	edges   map[edgeKey]*outEdge
+	deliver func(dst int, m tme.Message)
+	conns   map[net.Conn]struct{}
+	closed  bool
+
+	stop chan struct{}
+	wg   sync.WaitGroup
+	once sync.Once
+}
+
+type edgeKey struct{ src, dst int }
+
+// outEdge is one directed outgoing link: an unbounded FIFO queue drained
+// by a sender goroutine that owns the edge's connection.
+type outEdge struct {
+	dst int
+	q   *msgQueue
+}
+
+// NewTransport validates cfg and binds the listener.
+func NewTransport(cfg Config) (*Transport, error) {
+	if cfg.N < 1 || len(cfg.Local) == 0 {
+		return nil, fmt.Errorf("wire: Config.N (%d) and Local are required", cfg.N)
+	}
+	cfg = cfg.withDefaults()
+	t := &Transport{
+		cfg:   cfg,
+		local: make([]bool, cfg.N),
+		ins:   newWireInstruments(cfg.Obs),
+		edges: make(map[edgeKey]*outEdge),
+		peers: make([]string, cfg.N),
+		conns: make(map[net.Conn]struct{}),
+		stop:  make(chan struct{}),
+	}
+	for _, id := range cfg.Local {
+		if id < 0 || id >= cfg.N {
+			return nil, fmt.Errorf("wire: Config.Local id %d out of range [0,%d)", id, cfg.N)
+		}
+		t.local[id] = true
+	}
+	ln, err := net.Listen("tcp", cfg.Listen)
+	if err != nil {
+		return nil, fmt.Errorf("wire: listen %s: %w", cfg.Listen, err)
+	}
+	t.ln = ln
+	return t, nil
+}
+
+// Addr returns the bound listen address.
+func (t *Transport) Addr() string { return t.ln.Addr().String() }
+
+// SetPeers installs the dial address of every process id (entries for
+// local ids are ignored). May be called again to repoint edges; the next
+// (re)dial uses the new address.
+func (t *Transport) SetPeers(addrs []string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	copy(t.peers, addrs)
+}
+
+// Start installs the delivery callback and begins accepting inbound
+// connections. Part of the runtime.Transport contract.
+func (t *Transport) Start(deliver func(dst int, m tme.Message)) {
+	t.mu.Lock()
+	t.deliver = deliver
+	t.mu.Unlock()
+	t.wg.Add(1)
+	//gblint:ignore determinism the TCP transport runs on real sockets; determinism is the simulator's job
+	go t.acceptLoop()
+}
+
+// Send routes m: local destinations deliver in-process, remote ones go to
+// the (lazily created) edge sender. Never blocks on the network.
+func (t *Transport) Send(m tme.Message) {
+	if m.To < 0 || m.To >= t.cfg.N {
+		t.ins.dropped.Inc()
+		return
+	}
+	if t.local[m.To] {
+		t.mu.Lock()
+		d := t.deliver
+		t.mu.Unlock()
+		if d == nil {
+			t.ins.dropped.Inc()
+			return
+		}
+		d(m.To, m)
+		return
+	}
+	e := t.edge(m.From, m.To)
+	if e == nil {
+		t.ins.dropped.Inc()
+		return
+	}
+	e.q.put(m)
+}
+
+// edge returns the sender for (src,dst), creating it on first use.
+func (t *Transport) edge(src, dst int) *outEdge {
+	k := edgeKey{src, dst}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		return nil
+	}
+	if e, ok := t.edges[k]; ok {
+		return e
+	}
+	e := &outEdge{dst: dst, q: newMsgQueue()}
+	t.edges[k] = e
+	t.wg.Add(1)
+	//gblint:ignore determinism one sender goroutine per TCP edge mirrors the in-process forwarder model
+	go t.sender(e)
+	return e
+}
+
+// Close stops accepting, closes every connection, and joins all transport
+// goroutines. Part of the runtime.Transport contract.
+func (t *Transport) Close() error {
+	t.once.Do(func() {
+		t.mu.Lock()
+		t.closed = true
+		for c := range t.conns {
+			_ = c.Close()
+		}
+		t.mu.Unlock()
+		close(t.stop)
+		_ = t.ln.Close()
+	})
+	t.wg.Wait()
+	return nil
+}
+
+func (t *Transport) track(c net.Conn) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		_ = c.Close()
+		return false
+	}
+	t.conns[c] = struct{}{}
+	return true
+}
+
+func (t *Transport) untrack(c net.Conn) {
+	_ = c.Close()
+	t.mu.Lock()
+	delete(t.conns, c)
+	t.mu.Unlock()
+}
+
+func (t *Transport) peerAddr(id int) string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.peers[id]
+}
+
+// acceptLoop owns the listener.
+func (t *Transport) acceptLoop() {
+	defer t.wg.Done()
+	for {
+		c, err := t.ln.Accept()
+		if err != nil {
+			return // listener closed by Close
+		}
+		if !t.track(c) {
+			return
+		}
+		t.wg.Add(1)
+		//gblint:ignore determinism one reader goroutine per inbound TCP connection
+		go t.serveConn(c)
+	}
+}
+
+// serveConn deframes one inbound connection until error or close. A
+// malformed frame loses stream framing, so the connection is dropped (the
+// peer redials).
+func (t *Transport) serveConn(c net.Conn) {
+	defer t.wg.Done()
+	defer t.untrack(c)
+	r := NewReader(c)
+	for {
+		m, err := r.ReadMessage()
+		if err != nil {
+			if err != io.EOF {
+				t.ins.connErrors.Inc()
+			}
+			return
+		}
+		t.ins.recv.Inc()
+		if m.To < 0 || m.To >= t.cfg.N || !t.local[m.To] {
+			t.ins.dropped.Inc()
+			continue
+		}
+		t.mu.Lock()
+		d := t.deliver
+		t.mu.Unlock()
+		if d == nil {
+			t.ins.dropped.Inc()
+			continue
+		}
+		d(m.To, m)
+	}
+}
+
+// sender drains one edge in FIFO order. The current message is retried
+// across redials (with exponential backoff), so a crashed-and-restarted
+// peer picks the stream back up; unsendable messages only die with the
+// transport.
+func (t *Transport) sender(e *outEdge) {
+	defer t.wg.Done()
+	var conn net.Conn
+	var w *Writer
+	dropConn := func() {
+		if conn != nil {
+			t.untrack(conn)
+			conn, w = nil, nil
+		}
+	}
+	defer dropConn()
+	backoff := t.cfg.DialBackoffMin
+	for {
+		m, ok := e.q.get(t.stop)
+		if !ok {
+			return
+		}
+		for {
+			if conn == nil {
+				addr := t.peerAddr(e.dst)
+				if addr == "" {
+					// Peer address not yet known: wait and retry, the
+					// queue keeps FIFO order in the meantime.
+					if !sleepUntil(t.stop, backoff) {
+						return
+					}
+					backoff = nextBackoff(backoff, t.cfg.DialBackoffMax)
+					continue
+				}
+				c, err := net.DialTimeout("tcp", addr, time.Second)
+				if err != nil {
+					t.ins.dialErrors.Inc()
+					if !sleepUntil(t.stop, backoff) {
+						return
+					}
+					backoff = nextBackoff(backoff, t.cfg.DialBackoffMax)
+					continue
+				}
+				if !t.track(c) {
+					return
+				}
+				t.ins.dials.Inc()
+				conn, w = c, NewWriter(c)
+				backoff = t.cfg.DialBackoffMin
+			}
+			if err := w.WriteMessage(m); err != nil {
+				t.ins.connErrors.Inc()
+				dropConn()
+				select {
+				case <-t.stop:
+					return
+				default:
+				}
+				continue
+			}
+			t.ins.sent.Inc()
+			break
+		}
+	}
+}
+
+// sleepUntil waits d or until stop closes; false means stop.
+func sleepUntil(stop <-chan struct{}, d time.Duration) bool {
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	select {
+	case <-timer.C:
+		return true
+	case <-stop:
+		return false
+	}
+}
+
+func nextBackoff(cur, max time.Duration) time.Duration {
+	cur *= 2
+	if cur > max {
+		return max
+	}
+	return cur
+}
+
+// msgQueue is an unbounded FIFO with blocking get — the wire-side twin of
+// the runtime's mailbox (which this package cannot import).
+type msgQueue struct {
+	mu     sync.Mutex
+	items  []tme.Message
+	signal chan struct{} // capacity 1: "items may be non-empty"
+}
+
+func newMsgQueue() *msgQueue {
+	return &msgQueue{signal: make(chan struct{}, 1)}
+}
+
+func (q *msgQueue) put(m tme.Message) {
+	q.mu.Lock()
+	q.items = append(q.items, m)
+	q.mu.Unlock()
+	select {
+	case q.signal <- struct{}{}:
+	default:
+	}
+}
+
+// get blocks until an item is available or stop closes.
+func (q *msgQueue) get(stop <-chan struct{}) (tme.Message, bool) {
+	for {
+		q.mu.Lock()
+		if len(q.items) > 0 {
+			m := q.items[0]
+			copy(q.items, q.items[1:])
+			q.items = q.items[:len(q.items)-1]
+			q.mu.Unlock()
+			return m, true
+		}
+		q.mu.Unlock()
+		select {
+		case <-q.signal:
+		case <-stop:
+			return tme.Message{}, false
+		}
+	}
+}
+
+func (q *msgQueue) len() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.items)
+}
