@@ -38,7 +38,9 @@ import (
 	"github.com/graybox-stabilization/graybox/internal/fault"
 	"github.com/graybox-stabilization/graybox/internal/harness"
 	"github.com/graybox-stabilization/graybox/internal/obs"
+	"github.com/graybox-stabilization/graybox/internal/scenario"
 	"github.com/graybox-stabilization/graybox/internal/wire"
+	"github.com/graybox-stabilization/graybox/internal/workload"
 )
 
 func main() {
@@ -58,6 +60,10 @@ func run(args []string, out, errOut io.Writer) error {
 	bursts := fs.Int("bursts", 3, "fault bursts in the schedule (0 disables)")
 	maxPerBurst := fs.Int("max-per-burst", 4, "max injector faults per burst")
 	partition := fs.Bool("partition", true, "include a partition/heal pair in the schedule")
+	workloadName := fs.String("workload", "", "workload preset shaping the driver traffic (e.g. uniform, poisson, bursty, mixed; empty = uniform defaults)")
+	scenarioName := fs.String("scenario", "", "scenario preset replacing the ad-hoc schedule flags (e.g. none, gray-burst, partition-asym, churn)")
+	traceOut := fs.String("trace-out", "", "record the workload draws to this JSON schedule file")
+	traceIn := fs.String("trace-in", "", "replay a recorded workload schedule file instead of generating draws")
 	outPath := fs.String("out", "-", `snapshot output file ("-" = stdout)`)
 	check := fs.Bool("check", false, "exit non-zero unless converged with zero post-convergence violations")
 	schedOut := fs.String("schedule-out", "", "also write the pre-drawn fault schedule JSON to this file")
@@ -86,25 +92,86 @@ func run(args []string, out, errOut io.Writer) error {
 		return fmt.Errorf("unknown -algo %q (want ra or lamport)", *algo)
 	}
 
-	sched := wire.NewFaultSchedule(*seed, wire.ScheduleConfig{
-		N: *n, Duration: *duration,
-		Bursts: *bursts, MaxPerBurst: *maxPerBurst,
-		Mix: fault.DefaultMix, Partition: *partition,
-	})
+	cfg := harness.LiveConfig{
+		N: *n, Algo: a, Seed: *seed, Duration: *duration, Delta: *delta,
+	}
+
+	// -scenario replaces the ad-hoc schedule flags with a named preset;
+	// without it the legacy -bursts/-max-per-burst/-partition path applies.
+	var sched *wire.FaultSchedule
+	if *scenarioName != "" {
+		sc, err := scenario.Preset(*scenarioName)
+		if err != nil {
+			return err
+		}
+		cfg.Scenario = &sc
+		plan := scenario.CompileLive(sc, *seed, *n, *duration)
+		sched = plan.Schedule
+	} else {
+		sched = wire.NewFaultSchedule(*seed, wire.ScheduleConfig{
+			N: *n, Duration: *duration,
+			Bursts: *bursts, MaxPerBurst: *maxPerBurst,
+			Mix: fault.DefaultMix, Partition: *partition,
+		})
+		cfg.Schedule = sched
+	}
 	if *schedOut != "" {
-		if err := os.WriteFile(*schedOut, sched.JSON(), 0o644); err != nil {
+		data := []byte("[]\n")
+		if sched != nil {
+			data = sched.JSON()
+		}
+		if err := os.WriteFile(*schedOut, data, 0o644); err != nil {
 			return fmt.Errorf("write -schedule-out: %w", err)
 		}
-		fmt.Fprintf(status, "gbload: wrote fault schedule (%d events) to %s\n", len(sched.Events), *schedOut)
+		fmt.Fprintf(status, "gbload: wrote fault schedule (%d events) to %s\n", schedLen(sched), *schedOut)
+	}
+
+	// Workload shaping: -trace-in replays a recorded schedule verbatim;
+	// -workload picks a generator preset; otherwise RunLive builds uniform
+	// draws from its think/hold defaults.
+	var wspec *workload.Spec
+	switch {
+	case *traceIn != "":
+		data, err := os.ReadFile(*traceIn)
+		if err != nil {
+			return fmt.Errorf("read -trace-in: %w", err)
+		}
+		trace, err := workload.LoadSchedule(data)
+		if err != nil {
+			return fmt.Errorf("parse -trace-in: %w", err)
+		}
+		cfg.WorkloadTrace = trace
+	case *workloadName != "":
+		spec, err := workload.Preset(*workloadName)
+		if err != nil {
+			return err
+		}
+		wspec = &spec
+		cfg.Workload = wspec
+	}
+	if *traceOut != "" {
+		spec := workload.UniformSpec(
+			int64(harness.DefaultThinkMin/harness.LiveTick),
+			int64(harness.DefaultThinkMax/harness.LiveTick),
+			int64(harness.DefaultEatTime/harness.LiveTick))
+		if wspec != nil {
+			spec = *wspec
+		}
+		// Same stream RunLive uses (seed+100), so the recording replays the
+		// exact draws of this run when fed back through -trace-in.
+		items := int(duration.Milliseconds()/20) + 16
+		trace := workload.Record(spec, *seed+100, *n, items)
+		if err := os.WriteFile(*traceOut, trace.JSON(), 0o644); err != nil {
+			return fmt.Errorf("write -trace-out: %w", err)
+		}
+		fmt.Fprintf(status, "gbload: wrote workload trace (%d clients × %d draws) to %s\n", *n, items, *traceOut)
 	}
 
 	o := obs.New(obs.Options{})
+	cfg.Obs = o
 	fmt.Fprintf(status, "gbload: loopback cluster n=%d algo=%v delta=%v duration=%v seed=%d (%d scheduled events)\n",
-		*n, a, *delta, *duration, *seed, len(sched.Events))
-	res, err := harness.RunLive(harness.LiveConfig{
-		N: *n, Algo: a, Seed: *seed, Duration: *duration,
-		Delta: *delta, Schedule: sched, Obs: o,
-	})
+		*n, a, *delta, *duration, *seed, schedLen(sched))
+	res, err := harness.RunLive(cfg)
 	if err != nil {
 		return err
 	}
@@ -128,6 +195,15 @@ func run(args []string, out, errOut io.Writer) error {
 		fmt.Fprintln(status, "gbload: check passed (converged, zero post-convergence violations)")
 	}
 	return nil
+}
+
+// schedLen reports the event count of a possibly-nil schedule (scenario
+// "none" compiles to no fault plan at all).
+func schedLen(s *wire.FaultSchedule) int {
+	if s == nil {
+		return 0
+	}
+	return len(s.Events)
 }
 
 // recordResult publishes the run's headline measurements as gbload_*

@@ -30,6 +30,7 @@ import (
 
 	"github.com/graybox-stabilization/graybox/internal/harness"
 	"github.com/graybox-stabilization/graybox/internal/obs"
+	"github.com/graybox-stabilization/graybox/internal/workload"
 )
 
 func main() {
@@ -89,8 +90,16 @@ func parseFlags(args []string) (NodeConfig, error) {
 	fs.DurationVar(&cfg.Eat, "eat", time.Millisecond, "time spent holding the CS")
 	fs.DurationVar(&cfg.Duration, "duration", 0, "run length (0 = until SIGINT/SIGTERM)")
 	fs.Int64Var(&cfg.Seed, "seed", 1, "seed for the client loop's think times")
+	workloadName := fs.String("workload", "", "workload preset shaping the client loop (e.g. uniform, poisson, bursty, mixed; empty = uniform from -think/-eat)")
 	if err := fs.Parse(args); err != nil {
 		return NodeConfig{}, err
+	}
+	if *workloadName != "" {
+		spec, err := workload.Preset(*workloadName)
+		if err != nil {
+			return NodeConfig{}, err
+		}
+		cfg.Workload = &spec
 	}
 	if *peers != "" {
 		cfg.Peers = strings.Split(*peers, ",")

@@ -4,7 +4,6 @@ import (
 	"flag"
 	"fmt"
 	"io"
-	"math/rand"
 	"sync"
 	"time"
 
@@ -13,6 +12,7 @@ import (
 	"github.com/graybox-stabilization/graybox/internal/runtime"
 	"github.com/graybox-stabilization/graybox/internal/tme"
 	"github.com/graybox-stabilization/graybox/internal/wire"
+	"github.com/graybox-stabilization/graybox/internal/workload"
 	"github.com/graybox-stabilization/graybox/internal/wrapper"
 )
 
@@ -28,6 +28,10 @@ type NodeConfig struct {
 	Think, Eat  time.Duration
 	Duration    time.Duration
 	Seed        int64
+	// Workload, when non-nil, shapes the client loop's traffic (ticks read
+	// as harness.LiveTick each, same as the gbload drivers); nil derives a
+	// uniform closed loop from Think/Eat.
+	Workload *workload.Spec
 }
 
 // NodeAddrs reports where a started node is reachable.
@@ -148,18 +152,30 @@ func (nd *Node) WriteSnapshot(w io.Writer) error {
 	return nd.obs.Registry().WriteJSON(w)
 }
 
-// clientLoop is the built-in workload: think a random time, request the
-// CS, eat, release — the same client contract the harness drivers follow.
+// clientLoop is the built-in workload: think, request the CS, eat,
+// release — the same client contract the harness drivers follow. All
+// draws come from the workload package (one tick = harness.LiveTick),
+// derived from the same seed+100 stream family the gbload drivers use,
+// so a gbnode fleet and a gbload loopback run with the same seed see the
+// same per-id traffic shape.
 func (nd *Node) clientLoop() {
 	defer nd.wg.Done()
 	id := nd.cfg.ID
-	rng := rand.New(rand.NewSource(nd.cfg.Seed + 100 + int64(id)))
-	minThink := nd.cfg.Think / 4
-	if minThink <= 0 || minThink > nd.cfg.Think {
-		minThink = nd.cfg.Think
+	spec := nd.uniformSpec()
+	if nd.cfg.Workload != nil {
+		spec = *nd.cfg.Workload
 	}
+	client := workload.NewGen(spec, nd.cfg.Seed+100, nd.cfg.N).Client(id)
+	open := client.Open()
+	next := time.Now()
 	for {
-		think := minThink + time.Duration(rng.Int63n(int64(nd.cfg.Think-minThink)+1))
+		think := time.Duration(client.NextThink()) * harness.LiveTick
+		if open {
+			// Open loop: arrivals follow the drawn schedule regardless of
+			// how long the previous CS cycle took.
+			next = next.Add(think)
+			think = time.Until(next)
+		}
 		if !sleepOrStop(nd.stop, think) {
 			return
 		}
@@ -179,12 +195,30 @@ func (nd *Node) clientLoop() {
 				return
 			}
 		}
-		if !sleepOrStop(nd.stop, nd.cfg.Eat) {
+		if !sleepOrStop(nd.stop, time.Duration(client.NextHold())*harness.LiveTick) {
 			nd.cluster.Release(id)
 			return
 		}
 		nd.cluster.Release(id)
 	}
+}
+
+// uniformSpec maps the legacy -think/-eat flags onto workload ticks: a
+// uniform closed loop between Think/4 and Think, holding for Eat.
+func (nd *Node) uniformSpec() workload.Spec {
+	maxThink := int64(nd.cfg.Think / harness.LiveTick)
+	if maxThink < 1 {
+		maxThink = 1
+	}
+	minThink := maxThink / 4
+	if minThink < 1 {
+		minThink = 1
+	}
+	hold := int64(nd.cfg.Eat / harness.LiveTick)
+	if hold < 1 {
+		hold = 1
+	}
+	return workload.UniformSpec(minThink, maxThink, hold)
 }
 
 // sleepOrStop waits d or until stop closes; false means stopped.

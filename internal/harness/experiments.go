@@ -684,10 +684,10 @@ func UnifiedFaults(scale Scale) *Table {
 		for seed := 0; seed < seeds; seed++ {
 			s := sim.New(sim.Config{
 				N: 4, Seed: int64(seed),
-				NewNode:     RA.Factory(),
-				Workload:    true,
-				MaxRequests: 40,
-				NewWrapper:  func(int) wrapper.Level2 { return wrapper.NewTimed(5) },
+				NewNode:      RA.Factory(),
+				Workload:     true,
+				MaxRequests:  40,
+				NewWrapper:   func(int) wrapper.Level2 { return wrapper.NewTimed(5) },
 				WrapperEvery: 5,
 			})
 			in := fault.NewInjector(int64(seed)+1000, mix, fault.Options{})
@@ -811,5 +811,6 @@ func All(scale Scale) []*Table {
 		Level1Ablation(scale),
 		UnifiedFaults(scale),
 		LiveCluster(scale),
+		WorkloadMatrix(scale),
 	}
 }

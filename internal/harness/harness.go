@@ -17,8 +17,10 @@ import (
 	"github.com/graybox-stabilization/graybox/internal/lspec"
 	"github.com/graybox-stabilization/graybox/internal/obs"
 	"github.com/graybox-stabilization/graybox/internal/ra"
+	"github.com/graybox-stabilization/graybox/internal/scenario"
 	"github.com/graybox-stabilization/graybox/internal/sim"
 	"github.com/graybox-stabilization/graybox/internal/tme"
+	"github.com/graybox-stabilization/graybox/internal/workload"
 	"github.com/graybox-stabilization/graybox/internal/wrapper"
 )
 
@@ -82,6 +84,14 @@ type RunConfig struct {
 	// deadlock needs ALL processes hungry with ALL requests lost.)
 	// FaultTimes/FaultsPerBurst/Mix still apply on top if set.
 	DeadlockFault bool
+	// Workload, when non-nil, shapes the client traffic (a workload.Gen or
+	// a recorded workload.Schedule for replay). Nil keeps the historical
+	// built-in uniform closed loop, bit-for-bit.
+	Workload workload.Source
+	// Scenario, when non-nil, compiles to this run's fault plan, overriding
+	// FaultTimes/FaultsPerBurst/Mix and the link-delay bounds — the same
+	// declarative scenario a live run applies through the chaos proxy.
+	Scenario *scenario.Spec
 	// Horizon is the virtual-time end of the run. MaxRequests bounds the
 	// per-process workload so liveness obligations can drain.
 	Horizon     int64
@@ -180,6 +190,17 @@ func RunObserved(cfg RunConfig, o *obs.Obs) RunResult {
 		Workload:    true,
 		MaxRequests: cfg.MaxRequests,
 		Obs:         o,
+	}
+	if cfg.Workload != nil {
+		src := cfg.Workload
+		simCfg.NewClient = func(id int) sim.ClientStream { return src.Client(id) }
+	}
+	if cfg.Scenario != nil {
+		plan := scenario.CompileSim(*cfg.Scenario, cfg.FaultSeed, cfg.Horizon)
+		cfg.FaultTimes = plan.FaultTimes
+		cfg.FaultsPerBurst = plan.FaultsPerBurst
+		cfg.Mix = plan.Mix
+		simCfg.MinDelay, simCfg.MaxDelay = plan.MinDelay, plan.MaxDelay
 	}
 	if cfg.DeadlockFault {
 		// Dormant workload: the client never requests on its own (think

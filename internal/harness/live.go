@@ -24,9 +24,25 @@ import (
 	"github.com/graybox-stabilization/graybox/internal/fault"
 	"github.com/graybox-stabilization/graybox/internal/obs"
 	"github.com/graybox-stabilization/graybox/internal/runtime"
+	"github.com/graybox-stabilization/graybox/internal/scenario"
 	"github.com/graybox-stabilization/graybox/internal/tme"
 	"github.com/graybox-stabilization/graybox/internal/wire"
+	"github.com/graybox-stabilization/graybox/internal/workload"
 	"github.com/graybox-stabilization/graybox/internal/wrapper"
+)
+
+// LiveTick is the live harness's reading of one abstract workload tick:
+// one millisecond. Workload draws are unitless, so a schedule recorded on
+// the simulator (1 tick = 1 virtual tick) replays on a live cluster (1 tick
+// = 1ms) byte-identically.
+const LiveTick = time.Millisecond
+
+// Default driver timings, exported so callers (cmd/gbload's -trace-out)
+// can reconstruct the exact uniform spec RunLive falls back to.
+const (
+	DefaultThinkMin = 2 * time.Millisecond
+	DefaultThinkMax = 15 * time.Millisecond
+	DefaultEatTime  = time.Millisecond
 )
 
 // liveNowNS reads the wall clock; live runs measure real time by design.
@@ -60,6 +76,16 @@ type LiveConfig struct {
 	EatTime time.Duration
 	// SampleEvery is the ME1 sampler cadence. Default 500µs.
 	SampleEvery time.Duration
+	// Workload, when non-nil, shapes the drivers' traffic (ticks read as
+	// LiveTick each); nil uses ThinkMin/ThinkMax/EatTime as a uniform
+	// closed loop — through the same workload draw path either way.
+	Workload *workload.Spec
+	// WorkloadTrace, when non-nil, replays a recorded schedule instead of
+	// generating draws (takes precedence over Workload).
+	WorkloadTrace *workload.Schedule
+	// Scenario, when non-nil, compiles to the fault schedule and chaos
+	// delay bounds, overriding Schedule and ChaosMinDelay/ChaosMaxDelay.
+	Scenario *scenario.Spec
 	// Schedule, when non-nil, is the pre-drawn fault plan to apply.
 	Schedule *wire.FaultSchedule
 	// Obs, when non-nil, receives all metrics; otherwise RunLive builds a
@@ -90,13 +116,13 @@ func (c LiveConfig) withDefaults() LiveConfig {
 		c.ChaosMaxDelay = 3 * time.Millisecond
 	}
 	if c.ThinkMin <= 0 {
-		c.ThinkMin = 2 * time.Millisecond
+		c.ThinkMin = DefaultThinkMin
 	}
 	if c.ThinkMax < c.ThinkMin {
-		c.ThinkMax = 15 * time.Millisecond
+		c.ThinkMax = DefaultThinkMax
 	}
 	if c.EatTime <= 0 {
-		c.EatTime = time.Millisecond
+		c.EatTime = DefaultEatTime
 	}
 	if c.SampleEvery <= 0 {
 		c.SampleEvery = 500 * time.Microsecond
@@ -147,11 +173,34 @@ type LiveResult struct {
 // all outbound traffic piped through one shared wire.Chaos.
 func RunLive(cfg LiveConfig) (LiveResult, error) {
 	cfg = cfg.withDefaults()
+	if cfg.Scenario != nil {
+		plan := scenario.CompileLive(*cfg.Scenario, cfg.Seed, cfg.N, cfg.Duration)
+		cfg.Schedule = plan.Schedule
+		if plan.MinDelay > 0 {
+			cfg.ChaosMinDelay, cfg.ChaosMaxDelay = plan.MinDelay, plan.MaxDelay
+		}
+	}
 	o := cfg.Obs
 	if o == nil {
 		o = obs.New(obs.Options{})
 	}
 	n := cfg.N
+
+	// All driver traffic flows through the workload engine: an explicit
+	// Spec/trace when configured, otherwise the LiveConfig think/eat bounds
+	// expressed as a uniform spec (ticks are LiveTick-sized, so min == max
+	// degenerates to a constant instead of an Int63n edge case).
+	var src workload.Source
+	switch {
+	case cfg.WorkloadTrace != nil:
+		src = cfg.WorkloadTrace
+	case cfg.Workload != nil:
+		src = workload.NewGen(*cfg.Workload, cfg.Seed+100, n)
+	default:
+		src = workload.NewGen(workload.UniformSpec(
+			int64(cfg.ThinkMin/LiveTick), int64(cfg.ThinkMax/LiveTick),
+			int64(cfg.EatTime/LiveTick)), cfg.Seed+100, n)
+	}
 
 	chaos := wire.NewChaos(wire.ChaosConfig{
 		N: n, Seed: cfg.Seed + 1,
@@ -219,6 +268,7 @@ func RunLive(cfg LiveConfig) (LiveResult, error) {
 		requests   int64
 	)
 	reqAt := make([]atomic.Int64, n)
+	fair := o.Fairness()
 	for i := range clusters {
 		i := i
 		clusters[i].OnEntry(func(e runtime.Entry) {
@@ -227,6 +277,11 @@ func RunLive(cfg LiveConfig) (LiveResult, error) {
 			if r := reqAt[i].Load(); r > 0 {
 				lat = at - r
 			}
+			latTicks := int64(-1)
+			if lat >= 0 {
+				latTicks = lat / int64(LiveTick)
+			}
+			fair.RecordEntry(i, latTicks)
 			mu.Lock()
 			entryTimes = append(entryTimes, at)
 			if lat >= 0 {
@@ -243,17 +298,29 @@ func RunLive(cfg LiveConfig) (LiveResult, error) {
 	stop := make(chan struct{})
 	var wg sync.WaitGroup
 
-	// Drivers: one client loop per process — think, request, eat, release.
+	// Drivers: one client loop per process, drawing every think/arrival gap
+	// and hold time from the workload stream (ticks scaled by LiveTick).
+	// Closed-loop clients gap release-to-request; open-loop clients keep an
+	// arrival clock that runs independently of service, so a backlog of
+	// arrivals drains back-to-back once the client frees up.
 	for i := 0; i < n; i++ {
 		i := i
-		rng := rand.New(rand.NewSource(cfg.Seed + 100 + int64(i)))
+		client := src.Client(i)
 		wg.Add(1)
 		//gblint:ignore determinism one client-driver goroutine per process is the live harness's execution model
 		go func() {
 			defer wg.Done()
+			open := client.Open()
+			nextArrival := liveNowNS()
 			for {
-				think := cfg.ThinkMin + time.Duration(rng.Int63n(int64(cfg.ThinkMax-cfg.ThinkMin)+1))
-				if !liveSleep(stop, think) {
+				var wait time.Duration
+				if open {
+					nextArrival += client.NextThink() * int64(LiveTick)
+					wait = time.Duration(nextArrival - liveNowNS())
+				} else {
+					wait = time.Duration(client.NextThink()) * LiveTick
+				}
+				if !liveSleep(stop, wait) {
 					return
 				}
 				switch clusters[i].Phase(i) {
@@ -275,7 +342,7 @@ func RunLive(cfg LiveConfig) (LiveResult, error) {
 						return
 					}
 				}
-				if !liveSleep(stop, cfg.EatTime) {
+				if !liveSleep(stop, time.Duration(client.NextHold())*LiveTick) {
 					clusters[i].Release(i)
 					return
 				}
@@ -337,6 +404,9 @@ func RunLive(cfg LiveConfig) (LiveResult, error) {
 				switch e.Verb {
 				case "partition":
 					chaos.Isolate(e.Group...)
+					atomic.AddInt64(&extraFaults, 1)
+				case "partition-oneway":
+					chaos.IsolateOneWay(e.Group...)
 					atomic.AddInt64(&extraFaults, 1)
 				case "heal":
 					chaos.Heal()
@@ -418,6 +488,7 @@ func RunLive(cfg LiveConfig) (LiveResult, error) {
 	res.LastFaultMS = offsetMS(lastFault, start)
 	res.LastViolationMS = offsetMS(lastViol, start)
 	res.FirstEntryAfterFaultMS = offsetMS(firstAfterFault, start)
+	fair.Publish()
 	res.Snapshot = o.Registry().Snapshot()
 	return res, nil
 }

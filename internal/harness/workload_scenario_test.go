@@ -1,0 +1,145 @@
+package harness
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"github.com/graybox-stabilization/graybox/internal/scenario"
+	"github.com/graybox-stabilization/graybox/internal/workload"
+)
+
+// The PR's acceptance property at the harness level: a (workload, scenario,
+// seed) triple fully determines the traffic and the fault plan on every
+// substrate. The simulator consumes it as draw streams plus injector burst
+// times; the goroutine runtime and the live TCP cluster consume the same
+// draw streams plus the same pre-drawn wire.FaultSchedule bytes.
+
+// snapshotJSON renders a run's full metrics snapshot deterministically.
+func snapshotJSON(t *testing.T, r RunResult) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := r.Obs.WriteJSON(&buf); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	return buf.Bytes()
+}
+
+// Every workload preset records byte-identical schedule JSON for a given
+// seed, and every scenario preset compiles to byte-identical wire schedule
+// bytes (the plan the runtime and TCP substrates share) plus an identical
+// sim plan.
+func TestSeededPlansAreBytesIdentical(t *testing.T) {
+	for _, name := range workload.Names() {
+		spec, err := workload.Preset(name)
+		if err != nil {
+			t.Fatalf("workload.Preset(%q): %v", name, err)
+		}
+		a := workload.Record(spec, 42, 4, 32).JSON()
+		b := workload.Record(spec, 42, 4, 32).JSON()
+		if !bytes.Equal(a, b) {
+			t.Errorf("workload %s: same seed produced different schedule bytes", name)
+		}
+	}
+	for _, name := range scenario.Names() {
+		sc, err := scenario.Preset(name)
+		if err != nil {
+			t.Fatalf("scenario.Preset(%q): %v", name, err)
+		}
+		la := scenario.CompileLive(sc, 42, 4, 2*time.Second)
+		lb := scenario.CompileLive(sc, 42, 4, 2*time.Second)
+		if (la.Schedule == nil) != (lb.Schedule == nil) {
+			t.Fatalf("scenario %s: schedule presence differs", name)
+		}
+		if la.Schedule != nil && !bytes.Equal(la.Schedule.JSON(), lb.Schedule.JSON()) {
+			t.Errorf("scenario %s: same seed produced different wire schedule bytes", name)
+		}
+		sa := scenario.CompileSim(sc, 42, 20000)
+		sb := scenario.CompileSim(sc, 42, 20000)
+		if len(sa.FaultTimes) != len(sb.FaultTimes) || sa.Mix != sb.Mix {
+			t.Fatalf("scenario %s: sim plans differ", name)
+		}
+		for i := range sa.FaultTimes {
+			if sa.FaultTimes[i] != sb.FaultTimes[i] {
+				t.Errorf("scenario %s: sim fault time %d differs", name, i)
+			}
+		}
+	}
+}
+
+// A simulator run driven by the live generator and one driven by a recorded
+// trace of that generator are indistinguishable — replay fidelity, the
+// property that lets a live cluster re-run a simulator workload (and vice
+// versa) from a JSON file.
+func TestSimReplayMatchesGenerator(t *testing.T) {
+	for _, name := range []string{"uniform", "poisson", "bursty", "hotshard"} {
+		spec, err := workload.Preset(name)
+		if err != nil {
+			t.Fatalf("Preset(%q): %v", name, err)
+		}
+		cfg := RunConfig{
+			Algo: RA, N: 4, Seed: 3, FaultSeed: 1003,
+			Delta: 5, MaxRequests: 12, Horizon: 30000,
+		}
+		gen := cfg
+		gen.Workload = workload.NewGen(spec, 103, 4)
+		replay := cfg
+		trace, err := workload.LoadSchedule(workload.Record(spec, 103, 4, 128).JSON())
+		if err != nil {
+			t.Fatalf("LoadSchedule(%s): %v", name, err)
+		}
+		replay.Workload = trace
+		a := snapshotJSON(t, Run(gen))
+		b := snapshotJSON(t, Run(replay))
+		if !bytes.Equal(a, b) {
+			t.Errorf("%s: generator-driven and trace-driven sim runs diverge", name)
+		}
+	}
+}
+
+// End-to-end sim determinism with the full new surface: same (workload,
+// scenario, seed) → identical snapshot; different seed → different run.
+func TestSimWorkloadScenarioDeterministic(t *testing.T) {
+	spec, _ := workload.Preset("bursty")
+	sc, _ := scenario.Preset("gray")
+	mk := func(seed int64) RunConfig {
+		return RunConfig{
+			Algo: RA, N: 4, Seed: seed, FaultSeed: seed + 1000,
+			Delta: 5, Workload: workload.NewGen(spec, seed+100, 4),
+			Scenario: &sc, MaxRequests: 15, Horizon: 30000,
+		}
+	}
+	a := snapshotJSON(t, Run(mk(7)))
+	b := snapshotJSON(t, Run(mk(7)))
+	if !bytes.Equal(a, b) {
+		t.Fatal("same seed produced different workload+scenario sim runs")
+	}
+	c := snapshotJSON(t, Run(mk(8)))
+	if bytes.Equal(a, c) {
+		t.Fatal("different seeds produced identical runs (seed unused?)")
+	}
+}
+
+// The live TCP substrate accepts the same presets: a short run under a
+// workload and scenario completes with entries and publishes the per-client
+// fairness gauges.
+func TestLiveWorkloadScenarioSmoke(t *testing.T) {
+	spec, _ := workload.Preset("bursty")
+	sc, _ := scenario.Preset("gray")
+	res, err := RunLive(LiveConfig{
+		N: 3, Seed: 5, Duration: 600 * time.Millisecond,
+		Workload: &spec, Scenario: &sc,
+	})
+	if err != nil {
+		t.Fatalf("RunLive: %v", err)
+	}
+	if res.Entries == 0 {
+		t.Fatal("no CS entries under bursty × gray")
+	}
+	if res.Snapshot.Gauge("fair_entries_max", -1) <= 0 {
+		t.Error("fair_entries_max missing from the live snapshot")
+	}
+	if res.Snapshot.Gauge("fair_latency_p95", -1) < 0 {
+		t.Error("fair_latency_p95 missing from the live snapshot")
+	}
+}

@@ -134,12 +134,24 @@ func DefaultConfig() *Config {
 				"internal/wrapper", "internal/spec", "internal/lspec",
 				"internal/sim", "internal/runtime", "internal/harness",
 			}, Reason: "the wire layer moves opaque TME frames: it may build on engine/fault/obs but never on protocols, wrappers, specs, or its own consumers"},
+			{Scope: "internal/workload", Deny: []string{
+				"internal/ra", "internal/lamport", "internal/tokenring", "internal/ring",
+				"internal/wrapper", "internal/spec", "internal/lspec",
+				"internal/sim", "internal/runtime", "internal/harness",
+				"internal/fault", "internal/wire", "internal/scenario", "internal/channel",
+			}, Reason: "workload generation is substrate-blind seeded draw streams: engine/obs at most, so every substrate replays the same schedule"},
+			{Scope: "internal/scenario", Deny: []string{
+				"internal/ra", "internal/lamport", "internal/tokenring", "internal/ring",
+				"internal/wrapper", "internal/spec", "internal/lspec",
+				"internal/sim", "internal/runtime", "internal/harness",
+			}, Reason: "scenarios compile onto workload/fault/wire/engine/obs primitives; they must not reach into substrates or protocols (the harness adapts, never the reverse)"},
 		},
 		DetScope: []string{
 			"internal/sim", "internal/runtime", "internal/harness",
 			"internal/fault", "internal/channel", "internal/lspec",
 			"internal/ra", "internal/lamport", "internal/tokenring", "internal/ring",
 			"internal/engine", "internal/wire",
+			"internal/workload", "internal/scenario",
 		},
 		DetGoAllowed:   []string{"ParMap"},
 		DetTimeFuncs:   []string{"Now", "Since", "Until"},

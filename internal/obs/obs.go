@@ -289,6 +289,9 @@ type Obs struct {
 	// Conv tracks the fault/violation/progress window from which
 	// convergence time is derived.
 	Conv *Convergence
+	// Fair tracks per-client entry counts and latencies for the fairness
+	// columns of the workload experiments.
+	Fair *Fairness
 }
 
 // Options configures New.
@@ -307,6 +310,7 @@ func New(o Options) *Obs {
 		ob.Trace = NewTrace(o.TraceCapacity, o.OnEvent)
 	}
 	ob.Conv = NewConvergence(ob.Reg)
+	ob.Fair = NewFairness(ob.Reg)
 	return ob
 }
 
@@ -335,6 +339,14 @@ func (o *Obs) Convergence() *Convergence {
 		return nil
 	}
 	return o.Conv
+}
+
+// Fairness returns the bundle's fairness tracker (nil on a nil receiver).
+func (o *Obs) Fairness() *Fairness {
+	if o == nil {
+		return nil
+	}
+	return o.Fair
 }
 
 // Convergence derives convergence telemetry online: the time of the last

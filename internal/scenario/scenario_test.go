@@ -1,0 +1,141 @@
+package scenario
+
+import (
+	"bytes"
+	"testing"
+	"time"
+)
+
+// The acceptance property: same seed ⇒ identical compiled plans, for every
+// preset, on both compilation targets.
+func TestCompileDeterministicForSeed(t *testing.T) {
+	for _, name := range Names() {
+		sc, err := Preset(name)
+		if err != nil {
+			t.Fatalf("Preset(%q): %v", name, err)
+		}
+		a := CompileSim(sc, 42, 20000)
+		b := CompileSim(sc, 42, 20000)
+		if len(a.FaultTimes) != len(b.FaultTimes) {
+			t.Fatalf("%s: sim plan lengths differ", name)
+		}
+		for i := range a.FaultTimes {
+			if a.FaultTimes[i] != b.FaultTimes[i] {
+				t.Errorf("%s: sim fault times differ at %d", name, i)
+			}
+		}
+		if a.Mix != b.Mix || a.MaxDelay != b.MaxDelay {
+			t.Errorf("%s: sim plan knobs differ", name)
+		}
+
+		la := CompileLive(sc, 42, 5, 10*time.Second)
+		lb := CompileLive(sc, 42, 5, 10*time.Second)
+		if (la.Schedule == nil) != (lb.Schedule == nil) {
+			t.Fatalf("%s: live schedule presence differs", name)
+		}
+		if la.Schedule != nil && !bytes.Equal(la.Schedule.JSON(), lb.Schedule.JSON()) {
+			t.Errorf("%s: same seed produced different live schedules", name)
+		}
+	}
+}
+
+func TestCompileSimShapes(t *testing.T) {
+	sc, _ := Preset("gray")
+	p := CompileSim(sc, 7, 20000)
+	if p.MaxDelay != 20 || p.MinDelay != 1 {
+		t.Errorf("gray sim delays = [%d, %d], want [1, 20]", p.MinDelay, p.MaxDelay)
+	}
+	if len(p.FaultTimes) != sc.Bursts {
+		t.Errorf("gray sim plan has %d bursts, want %d", len(p.FaultTimes), sc.Bursts)
+	}
+	if p.Mix.State < p.Mix.Loss {
+		t.Error("gray mix should be perturb-heavy")
+	}
+	for i, ft := range p.FaultTimes {
+		if ft < 100 || ft > 400 {
+			t.Errorf("fault %d at %d outside the [0.5%%, 2%%] window", i, ft)
+		}
+		if i > 0 && ft < p.FaultTimes[i-1] {
+			t.Error("fault times not sorted")
+		}
+	}
+
+	// none compiles to an empty plan.
+	none, _ := Preset("none")
+	np := CompileSim(none, 7, 20000)
+	if len(np.FaultTimes) != 0 || np.MaxDelay != 0 {
+		t.Errorf("none compiled to a non-empty plan: %+v", np)
+	}
+	if CompileLive(none, 7, 5, time.Second).Schedule != nil {
+		t.Error("none compiled to a live schedule")
+	}
+
+	// partition adds a cut-point burst and flush weight on sim.
+	part, _ := Preset("partition")
+	pp := CompileSim(part, 7, 20000)
+	if len(pp.FaultTimes) != part.Bursts+1 {
+		t.Errorf("partition sim plan has %d bursts, want %d", len(pp.FaultTimes), part.Bursts+1)
+	}
+	if pp.Mix.Flush == 0 {
+		t.Error("partition sim mix lacks flush weight")
+	}
+
+	// churn adds per-cycle bursts and state weight.
+	ch, _ := Preset("churn")
+	cp := CompileSim(ch, 7, 20000)
+	if len(cp.FaultTimes) != ch.Bursts+ch.Churn {
+		t.Errorf("churn sim plan has %d bursts, want %d", len(cp.FaultTimes), ch.Bursts+ch.Churn)
+	}
+	if cp.Mix.State == 0 {
+		t.Error("churn sim mix lacks state weight")
+	}
+}
+
+func TestCompileLiveShapes(t *testing.T) {
+	sc, _ := Preset("partition-asym")
+	p := CompileLive(sc, 9, 5, 10*time.Second)
+	if p.Schedule == nil {
+		t.Fatal("partition-asym compiled without a schedule")
+	}
+	var oneway, heals int
+	for _, e := range p.Schedule.Events {
+		switch e.Verb {
+		case "partition-oneway":
+			oneway++
+		case "partition":
+			t.Error("asymmetric scenario planned a symmetric partition")
+		case "heal":
+			heals++
+		}
+	}
+	if oneway != 1 || heals != 1 {
+		t.Errorf("partition-asym planned %d one-way cuts / %d heals, want 1/1", oneway, heals)
+	}
+
+	ch, _ := Preset("churn")
+	cp := CompileLive(ch, 9, 5, 10*time.Second)
+	var parts int
+	for _, e := range cp.Schedule.Events {
+		if e.Verb == "partition" {
+			parts++
+			if len(e.Group) != 1 {
+				t.Errorf("churn cut group %v, want single node", e.Group)
+			}
+		}
+	}
+	if parts != ch.Churn {
+		t.Errorf("churn planned %d cuts, want %d", parts, ch.Churn)
+	}
+
+	gray, _ := Preset("gray")
+	gp := CompileLive(gray, 9, 5, 10*time.Second)
+	if gp.MinDelay != 2*time.Millisecond || gp.MaxDelay != 12*time.Millisecond {
+		t.Errorf("gray live delays = [%v, %v], want 4x nominal", gp.MinDelay, gp.MaxDelay)
+	}
+}
+
+func TestPresetUnknown(t *testing.T) {
+	if _, err := Preset("nope"); err == nil {
+		t.Fatal("Preset(nope) should error")
+	}
+}

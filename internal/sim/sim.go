@@ -59,6 +59,14 @@ type Config struct {
 	ThinkMin, ThinkMax int64
 	// EatTime is how long a process eats before releasing. Default 3.
 	EatTime int64
+	// NewClient, when non-nil (and Workload is on), replaces the built-in
+	// uniform client at each process with the returned draw stream —
+	// internal/workload plugs in here. The default nil keeps the master-rng
+	// draw path bit-for-bit identical to the historical behavior, which the
+	// golden metrics tests pin. Open-loop streams (Open() true) arrive
+	// independently of service: arrivals that find the client busy queue
+	// and drain on release.
+	NewClient func(id int) ClientStream
 	// MaxRequests caps requests issued per process (0 = unlimited).
 	MaxRequests int
 	// Obs, when non-nil, receives metrics and trace events for the run.
@@ -87,6 +95,20 @@ func (c *Config) withDefaults() Config {
 		out.EatTime = 3
 	}
 	return out
+}
+
+// ClientStream is one client's workload draw stream, defined here (rather
+// than importing internal/workload) so the simulator stays a leaf the
+// workload layer can build on. workload.Client satisfies it structurally.
+// All values are in virtual ticks.
+type ClientStream interface {
+	// NextThink returns the next gap: release-to-request think time for a
+	// closed-loop client, arrival-to-arrival gap for an open-loop one.
+	NextThink() int64
+	// NextHold returns the next CS hold (eat) time.
+	NextHold() int64
+	// Open reports whether the stream is an open-loop arrival source.
+	Open() bool
 }
 
 // Entry records one CS entry.
@@ -188,8 +210,11 @@ type Sim struct {
 	nodes    []tme.Node
 	wrappers []wrapper.Level2
 	net      *channel.Net[tme.Message]
-	requests []int  // requests issued per node
-	relPend  []bool // release scheduled and not yet performed, per node
+	requests []int          // requests issued per node
+	relPend  []bool         // release scheduled and not yet performed, per node
+	clients  []ClientStream // per-process draw streams; nil without NewClient
+	pending  []int          // open-loop arrivals queued while the client was busy
+	lastReq  []int64        // time of each client's outstanding request (-1 = none)
 	metrics  Metrics
 	observer Observer
 	ins      instruments
@@ -211,6 +236,7 @@ type instruments struct {
 	obs        *obs.Obs
 	trace      *obs.Trace
 	conv       *obs.Convergence
+	fair       *obs.Fairness
 	progMsgs   *obs.Counter
 	wrapMsgs   *obs.Counter
 	byKind     [4]*obs.Counter // indexed by tme.Kind; slot 0 catches invalid kinds
@@ -236,6 +262,7 @@ func newInstruments(o *obs.Obs) instruments {
 	r := o.Registry()
 	ins.trace = o.Tracer()
 	ins.conv = o.Convergence()
+	ins.fair = o.Fairness()
 	ins.progMsgs = r.Counter("sim_msgs_program_total", "messages sent by the programs")
 	ins.wrapMsgs = r.Counter("sim_msgs_wrapper_total", "messages sent by wrappers")
 	ins.byKind[0] = r.Counter("sim_msgs_kind_invalid_total", "messages sent with an invalid kind")
@@ -304,8 +331,19 @@ func New(cfg Config) *Sim {
 		}
 	}
 	if c.Workload {
+		if c.NewClient != nil {
+			s.clients = make([]ClientStream, c.N)
+			s.pending = make([]int, c.N)
+			for i := range s.clients {
+				s.clients[i] = c.NewClient(i)
+			}
+		}
+		s.lastReq = make([]int64, c.N)
+		for i := range s.lastReq {
+			s.lastReq[i] = -1
+		}
 		for i := 0; i < c.N; i++ {
-			s.core.Schedule(s.thinkTime(), evClientTick, int32(i), 0)
+			s.core.Schedule(s.thinkTimeAt(i), evClientTick, int32(i), 0)
 		}
 	}
 	return s
@@ -358,6 +396,28 @@ func (s *Sim) dirtyAll() { s.verGlobal++ }
 
 func (s *Sim) thinkTime() int64 {
 	return s.cfg.ThinkMin + s.rng.Int63n(s.cfg.ThinkMax-s.cfg.ThinkMin+1)
+}
+
+// thinkTimeAt draws node i's next think/arrival gap: from its workload
+// stream when one is installed, otherwise from the master rng exactly as
+// the historical default did.
+//
+//gblint:hotpath
+func (s *Sim) thinkTimeAt(i int) int64 {
+	if s.clients != nil && s.clients[i] != nil {
+		return s.clients[i].NextThink()
+	}
+	return s.thinkTime()
+}
+
+// holdTimeAt draws node i's next CS hold (eat) time.
+//
+//gblint:hotpath
+func (s *Sim) holdTimeAt(i int) int64 {
+	if s.clients != nil && s.clients[i] != nil {
+		return s.clients[i].NextHold()
+	}
+	return s.cfg.EatTime
 }
 
 // At schedules fn at absolute virtual time t (clamped to now for past
@@ -446,9 +506,17 @@ func (s *Sim) afterEventAt(i int) {
 			}
 			s.ins.lastEntry, s.ins.haveEntry = now, true
 		}
+		if s.lastReq != nil {
+			lat := int64(-1)
+			if s.lastReq[i] >= 0 {
+				lat = now - s.lastReq[i]
+				s.lastReq[i] = -1
+			}
+			s.ins.fair.RecordEntry(i, lat)
+		}
 		if s.cfg.Workload && !s.relPend[i] {
 			s.relPend[i] = true
-			s.core.Schedule(s.cfg.EatTime, evRelease, int32(i), 0)
+			s.core.Schedule(s.holdTimeAt(i), evRelease, int32(i), 0)
 		}
 	}
 }
@@ -482,6 +550,27 @@ func (s *Sim) runLevel1(i int) {
 func (s *Sim) clientTick(i int) {
 	s.runLevel1(i)
 	budgetLeft := s.cfg.MaxRequests == 0 || s.requests[i] < s.cfg.MaxRequests
+	if s.clients != nil && s.clients[i] != nil && s.clients[i].Open() {
+		// Open loop: every tick is an arrival, independent of service.
+		// Arrivals that find the client busy queue in pending and drain on
+		// release. The same parking rule applies once the budget is spent.
+		if !budgetLeft {
+			return
+		}
+		switch s.nodes[i].Phase() {
+		case tme.Thinking:
+			s.doRequest(i)
+		case tme.Eating:
+			if !s.relPend[i] {
+				s.release(i) // audit: a fault moved the phase mid-meal
+			}
+			s.pending[i]++
+		default:
+			s.pending[i]++ // hungry (or invalid): the arrival queues
+		}
+		s.core.Schedule(s.thinkTimeAt(i), evClientTick, int32(i), 0)
+		return
+	}
 	switch s.nodes[i].Phase() {
 	case tme.Thinking:
 		if !budgetLeft {
@@ -496,7 +585,7 @@ func (s *Sim) clientTick(i int) {
 		// Hungry (waiting on the algorithm) or an invalid phase (level-1
 		// wrapper territory): nothing for the client to do.
 	}
-	s.core.Schedule(s.thinkTime(), evClientTick, int32(i), 0)
+	s.core.Schedule(s.thinkTimeAt(i), evClientTick, int32(i), 0)
 }
 
 // doRequest performs the client "Request CS" action at node i if thinking.
@@ -510,6 +599,9 @@ func (s *Sim) doRequest(i int) {
 	s.requests[i]++
 	s.metrics.Requests++
 	s.ins.requests.Inc()
+	if s.lastReq != nil {
+		s.lastReq[i] = s.core.Now()
+	}
 	s.send(s.nodes[i].RequestCS(), false)
 	s.afterEventAt(i)
 }
@@ -527,6 +619,15 @@ func (s *Sim) release(i int) {
 	s.ins.releases.Inc()
 	s.send(s.nodes[i].ReleaseCS(), false)
 	s.afterEventAt(i)
+	if s.pending != nil && s.pending[i] > 0 {
+		// Drain one queued open-loop arrival now that the client is free.
+		if s.cfg.MaxRequests == 0 || s.requests[i] < s.cfg.MaxRequests {
+			s.pending[i]--
+			s.core.Schedule(1, evRequest, int32(i), 0)
+		} else {
+			s.pending[i] = 0 // budget spent: queued arrivals will never be served
+		}
+	}
 }
 
 // Request asks node i to request the CS now (manual workload control for
@@ -590,6 +691,7 @@ func (s *Sim) Run(horizon int64) int64 {
 	s.dirtyAll()
 	n := s.core.Run(horizon)
 	s.ins.simTime.Set(s.core.Now())
+	s.ins.fair.Publish()
 	return n
 }
 

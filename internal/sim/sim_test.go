@@ -357,3 +357,86 @@ func TestScheduleDeliveryOnEmptyChannelIsNoop(t *testing.T) {
 		t.Error("delivered from an empty channel")
 	}
 }
+
+// fixedStream is a deterministic ClientStream for hook tests.
+type fixedStream struct {
+	think, hold int64
+	open        bool
+}
+
+func (f *fixedStream) NextThink() int64 { return f.think }
+func (f *fixedStream) NextHold() int64  { return f.hold }
+func (f *fixedStream) Open() bool       { return f.open }
+
+// The NewClient hook replaces the built-in uniform draws: a closed-loop
+// stream with fixed think/hold drives the run, and its hold time is
+// honored (every meal lasts exactly the drawn ticks, not cfg.EatTime).
+func TestNewClientHookDrivesDraws(t *testing.T) {
+	s := New(Config{
+		N: 3, Seed: 1, NewNode: raFactory, Workload: true,
+		MaxRequests: 5, EatTime: 1,
+		NewClient: func(id int) ClientStream {
+			return &fixedStream{think: 7, hold: 4}
+		},
+	})
+	var mealStart [8]int64
+	s.SetObserver(func(s *Sim) {
+		for i := 0; i < s.N(); i++ {
+			if s.Node(i).Phase() == tme.Eating {
+				if mealStart[i] == 0 {
+					mealStart[i] = s.Now()
+				}
+			} else if mealStart[i] != 0 {
+				if d := s.Now() - mealStart[i]; d < 4 {
+					t.Errorf("node %d meal lasted %d ticks, want >= 4 (stream hold)", i, d)
+				}
+				mealStart[i] = 0
+			}
+		}
+	})
+	s.Run(5000)
+	m := s.Metrics()
+	if len(m.Entries) != 15 {
+		t.Fatalf("entries=%d, want 15 (3 clients x 5 requests)", len(m.Entries))
+	}
+}
+
+// An open-loop stream issues arrivals on its own clock: arrivals landing
+// while the client is hungry or eating queue in pending and drain on
+// release, so the request budget is still spent in full.
+func TestOpenLoopArrivalsQueueAndDrain(t *testing.T) {
+	s := New(Config{
+		N: 3, Seed: 1, NewNode: raFactory, Workload: true,
+		MaxRequests: 6,
+		// Arrivals every 2 ticks against 5-tick meals: most arrivals find
+		// the client busy and must queue.
+		NewClient: func(id int) ClientStream {
+			return &fixedStream{think: 2, hold: 5, open: true}
+		},
+	})
+	s.Run(8000)
+	m := s.Metrics()
+	if m.Requests != 18 {
+		t.Fatalf("requests=%d, want 18 (3 clients x 6 budget)", m.Requests)
+	}
+	if len(m.Entries) != 18 {
+		t.Fatalf("entries=%d, want every queued arrival served", len(m.Entries))
+	}
+}
+
+// Without NewClient the historical uniform path runs bit-for-bit: the hook
+// being nil must not change anything (the golden metrics tests pin the
+// exact bytes; this is the cheap in-package guard).
+func TestNilNewClientKeepsLegacyPath(t *testing.T) {
+	run := func(hook func(int) ClientStream) (int, int) {
+		s := New(Config{N: 4, Seed: 11, NewNode: raFactory, Workload: true,
+			MaxRequests: 8, NewClient: hook})
+		s.Run(5000)
+		return len(s.Metrics().Entries), s.Metrics().ProgramMsgs
+	}
+	e1, p1 := run(nil)
+	e2, p2 := run(nil)
+	if e1 != e2 || p1 != p2 {
+		t.Fatalf("legacy path nondeterministic: (%d,%d) vs (%d,%d)", e1, p1, e2, p2)
+	}
+}

@@ -108,6 +108,7 @@ type Chaos struct {
 	rng      *rand.Rand
 	queues   [][]chaosEntry // indexed by edge (src-major, self-edges omitted)
 	isolated []bool
+	oneWay   bool // isolation drops only group→rest (gray asymmetric cut)
 	perturb  func(id int, rng *rand.Rand) bool
 	closed   bool
 
@@ -168,7 +169,15 @@ func (c *Chaos) SetPerturb(f func(id int, rng *rand.Rand) bool) {
 // Isolate partitions the cluster: messages between the given group and
 // the rest are dropped at release time until Heal. A second call replaces
 // the first group.
-func (c *Chaos) Isolate(ids ...int) {
+func (c *Chaos) Isolate(ids ...int) { c.isolate(false, ids) }
+
+// IsolateOneWay installs an asymmetric cut: messages FROM the group to
+// the rest are dropped, but messages TO the group still arrive — the
+// gray-failure shape where a sick node hears the cluster yet cannot be
+// heard. A second Isolate/IsolateOneWay call replaces the cut.
+func (c *Chaos) IsolateOneWay(ids ...int) { c.isolate(true, ids) }
+
+func (c *Chaos) isolate(oneWay bool, ids []int) {
 	now := nowNS()
 	c.mu.Lock()
 	for i := range c.isolated {
@@ -179,10 +188,15 @@ func (c *Chaos) Isolate(ids ...int) {
 			c.isolated[id] = true
 		}
 	}
+	c.oneWay = oneWay
 	c.mu.Unlock()
 	c.ins.partitions.Inc()
 	c.ins.conv.RecordFault(now)
-	c.ins.trace.Emit(obs.Event{Time: now, Kind: obs.EvFault, A: -1, B: -1, Detail: "partition"})
+	detail := "partition"
+	if oneWay {
+		detail = "partition-oneway"
+	}
+	c.ins.trace.Emit(obs.Event{Time: now, Kind: obs.EvFault, A: -1, B: -1, Detail: detail})
 }
 
 // Heal removes the partition. The heal restarts the convergence window:
@@ -193,6 +207,7 @@ func (c *Chaos) Heal() {
 	for i := range c.isolated {
 		c.isolated[i] = false
 	}
+	c.oneWay = false
 	c.mu.Unlock()
 	c.ins.heals.Inc()
 	c.ins.conv.RecordFault(now)
@@ -264,7 +279,11 @@ func (c *Chaos) scheduler() {
 					// messages are inside no partition group.
 					srcIso := e.m.From >= 0 && e.m.From < c.cfg.N && c.isolated[e.m.From]
 					dstIso := e.m.To >= 0 && e.m.To < c.cfg.N && c.isolated[e.m.To]
-					if srcIso != dstIso {
+					cut := srcIso != dstIso
+					if c.oneWay {
+						cut = srcIso && !dstIso
+					}
+					if cut {
 						c.ins.partDrop.Inc()
 						continue
 					}

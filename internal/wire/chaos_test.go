@@ -61,6 +61,40 @@ func TestChaosPartitionDropsAndHeals(t *testing.T) {
 	}
 }
 
+func TestChaosOneWayPartition(t *testing.T) {
+	ch := NewChaos(ChaosConfig{N: 3, Seed: 4, MinDelay: time.Millisecond, MaxDelay: 2 * time.Millisecond})
+	defer ch.Close()
+	next := &fakeLink{}
+	link := ch.Pipe(next)
+
+	ch.IsolateOneWay(0)
+	link.Send(tme.Message{Kind: tme.Request, From: 0, To: 1}) // outbound from sick node: dropped
+	link.Send(tme.Message{Kind: tme.Request, From: 1, To: 0}) // inbound to sick node: flows
+	link.Send(tme.Message{Kind: tme.Request, From: 1, To: 2}) // healthy edge: flows
+	got := next.c.waitLen(t, 2, 5*time.Second)
+	for _, m := range got {
+		if m.From == 0 {
+			t.Fatalf("message from the one-way-isolated node leaked: %+v", m)
+		}
+	}
+	time.Sleep(20 * time.Millisecond)
+	if len(next.c.snapshot()) != 2 {
+		t.Fatalf("unexpected releases: %v", next.c.snapshot())
+	}
+
+	// A symmetric Isolate replaces the one-way cut: inbound now drops too.
+	ch.Isolate(0)
+	link.Send(tme.Message{Kind: tme.Request, From: 1, To: 0})
+	time.Sleep(20 * time.Millisecond)
+	if len(next.c.snapshot()) != 2 {
+		t.Fatalf("symmetric cut after one-way leaked a message: %v", next.c.snapshot())
+	}
+
+	ch.Heal()
+	link.Send(tme.Message{Kind: tme.Reply, From: 0, To: 1})
+	next.c.waitLen(t, 3, 5*time.Second)
+}
+
 // heldChaos returns a proxy whose delays are long enough that submitted
 // messages stay queued for the duration of the test body.
 func heldChaos(t *testing.T, n int) (*Chaos, *fakeLink, Link) {

@@ -18,7 +18,7 @@ type FaultEvent struct {
 	// AtMS is the offset from run start, in milliseconds.
 	AtMS int64 `json:"at_ms"`
 	// Verb is a fault.Kind name ("loss", "dup", "corrupt", "state",
-	// "flush") or the wire-only "partition" / "heal".
+	// "flush") or the wire-only "partition" / "partition-oneway" / "heal".
 	Verb string `json:"verb"`
 	// Count is how many faults of this kind fire back-to-back (burst
 	// size; 0 means 1). Unused for partition/heal.
@@ -68,6 +68,12 @@ type ScheduleConfig struct {
 	Mix fault.Mix
 	// Partition adds an Isolate/Heal pair around the middle of the run.
 	Partition bool
+	// Asymmetric makes the planned partition one-way (IsolateOneWay):
+	// the isolated group's outbound messages drop, inbound still arrive.
+	Asymmetric bool
+	// Churn plans this many extra crash/recover cycles: each isolates a
+	// single random node briefly and then heals, modelling process churn.
+	Churn int
 }
 
 func (c ScheduleConfig) withDefaults() ScheduleConfig {
@@ -110,10 +116,28 @@ func NewFaultSchedule(seed int64, cfg ScheduleConfig) *FaultSchedule {
 		}
 		group := rng.Perm(cfg.N)[:size]
 		sort.Ints(group)
+		verb := "partition"
+		if cfg.Asymmetric {
+			verb = "partition-oneway"
+		}
 		s.Events = append(s.Events,
-			FaultEvent{AtMS: durMS * 3 / 10, Verb: "partition", Group: group},
+			FaultEvent{AtMS: durMS * 3 / 10, Verb: verb, Group: group},
 			FaultEvent{AtMS: durMS * 55 / 100, Verb: "heal"},
 		)
+	}
+	if cfg.Churn > 0 && cfg.N > 0 {
+		// Crash/recover cycles: isolate one node for a short window, then
+		// heal. Cycles are spread over the fault window so the last heal
+		// still leaves room for convergence.
+		for i := 0; i < cfg.Churn; i++ {
+			at := lo + rng.Int63n(hi-lo)
+			down := 1 + rng.Int63n(durMS/20+1) // outage ≤ 5% of the run
+			node := rng.Intn(cfg.N)
+			s.Events = append(s.Events,
+				FaultEvent{AtMS: at, Verb: "partition", Group: []int{node}},
+				FaultEvent{AtMS: at + down, Verb: "heal"},
+			)
+		}
 	}
 	sort.SliceStable(s.Events, func(i, j int) bool { return s.Events[i].AtMS < s.Events[j].AtMS })
 	return s

@@ -79,3 +79,57 @@ func TestFaultKindRoundTrip(t *testing.T) {
 		t.Error("partition mapped to a fault.Kind")
 	}
 }
+
+func TestScheduleAsymmetricVerb(t *testing.T) {
+	cfg := scheduleCfg()
+	cfg.Asymmetric = true
+	s := NewFaultSchedule(7, cfg)
+	var oneway, heals int
+	for _, e := range s.Events {
+		switch e.Verb {
+		case "partition-oneway":
+			oneway++
+			if len(e.Group) < 1 {
+				t.Errorf("one-way partition with empty group")
+			}
+		case "partition":
+			t.Error("Asymmetric schedule planned a symmetric partition")
+		case "heal":
+			heals++
+		}
+	}
+	if oneway != 1 || heals != 1 {
+		t.Errorf("schedule has %d one-way partitions / %d heals, want 1/1", oneway, heals)
+	}
+	// Group draw is shared with the symmetric path: same seed, same victims.
+	sym := NewFaultSchedule(7, scheduleCfg())
+	for i := range s.Events {
+		if s.Events[i].AtMS != sym.Events[i].AtMS {
+			t.Fatal("asymmetric flag changed the event timeline")
+		}
+	}
+}
+
+func TestScheduleChurn(t *testing.T) {
+	cfg := ScheduleConfig{N: 5, Duration: 10 * time.Second, Bursts: 1, Churn: 3}
+	s := NewFaultSchedule(9, cfg)
+	var parts, heals int
+	for _, e := range s.Events {
+		switch e.Verb {
+		case "partition":
+			parts++
+			if len(e.Group) != 1 {
+				t.Errorf("churn partition group %v, want a single node", e.Group)
+			}
+		case "heal":
+			heals++
+		}
+	}
+	if parts != 3 || heals != 3 {
+		t.Errorf("churn planned %d partitions / %d heals, want 3/3", parts, heals)
+	}
+	a := NewFaultSchedule(9, cfg)
+	if !bytes.Equal(s.JSON(), a.JSON()) {
+		t.Error("churn schedule not deterministic for seed")
+	}
+}

@@ -1,0 +1,157 @@
+package workload
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// ClientTrace is one client's pre-drawn draw sequences. Values are in
+// ticks, exactly as the generator produced them, so a trace carries no
+// substrate unit and replays identically everywhere.
+type ClientTrace struct {
+	Client int    `json:"client"`
+	Cohort string `json:"cohort"`
+	Open   bool   `json:"open,omitempty"`
+	// Thinks and Holds are consumed in order; Resources only when the
+	// cohort has shard skew.
+	Thinks    []int64 `json:"thinks"`
+	Holds     []int64 `json:"holds"`
+	Resources []int   `json:"resources,omitempty"`
+}
+
+// Schedule is a recorded workload: per-client draw sequences plus the
+// provenance needed to regenerate it. It implements Source; replay cycles
+// when a sequence is exhausted, so a short trace still drives an
+// arbitrarily long run deterministically.
+type Schedule struct {
+	Spec    string        `json:"spec"`
+	Seed    int64         `json:"seed"`
+	N       int           `json:"n"`
+	Items   int           `json:"items_per_client"`
+	Clients []ClientTrace `json:"clients"`
+}
+
+// Record pre-draws items think/hold/resource triples for each of n clients
+// of spec — a pure function of its arguments, so two calls with the same
+// inputs produce byte-identical JSON.
+func Record(spec Spec, seed int64, n, items int) *Schedule {
+	if items < 1 {
+		items = 1
+	}
+	g := NewGen(spec, seed, n)
+	s := &Schedule{Spec: specName(spec), Seed: seed, N: n, Items: items}
+	for i := 0; i < n; i++ {
+		c := g.Client(i)
+		ct := ClientTrace{
+			Client: i,
+			Cohort: c.Cohort(),
+			Open:   c.Open(),
+			Thinks: make([]int64, items),
+			Holds:  make([]int64, items),
+		}
+		skewed := false
+		if gc, ok := c.(*genClient); ok {
+			skewed = gc.cohort.Skew.Resources > 1
+		}
+		if skewed {
+			ct.Resources = make([]int, items)
+		}
+		for j := 0; j < items; j++ {
+			ct.Thinks[j] = c.NextThink()
+			ct.Holds[j] = c.NextHold()
+			if skewed {
+				if gc, ok := c.(*genClient); ok {
+					ct.Resources[j] = c.NextResource(gc.cohort.Skew.Resources)
+				}
+			}
+		}
+		s.Clients = append(s.Clients, ct)
+	}
+	return s
+}
+
+func specName(spec Spec) string {
+	if spec.Name != "" {
+		return spec.Name
+	}
+	return "custom"
+}
+
+// JSON renders the schedule deterministically (struct field order, no
+// maps), for the same-seed ⇒ same-bytes acceptance check and for replay
+// files.
+func (s *Schedule) JSON() []byte {
+	b, err := json.MarshalIndent(s, "", "  ")
+	if err != nil { // plain data; cannot fail
+		return []byte("{}")
+	}
+	return append(b, '\n')
+}
+
+// LoadSchedule parses a schedule previously written with JSON.
+func LoadSchedule(b []byte) (*Schedule, error) {
+	s := &Schedule{}
+	if err := json.Unmarshal(b, s); err != nil {
+		return nil, fmt.Errorf("workload schedule: %w", err)
+	}
+	if len(s.Clients) == 0 {
+		return nil, fmt.Errorf("workload schedule: no clients")
+	}
+	for i := range s.Clients {
+		if len(s.Clients[i].Thinks) == 0 || len(s.Clients[i].Holds) == 0 {
+			return nil, fmt.Errorf("workload schedule: client %d has empty draw sequences", i)
+		}
+	}
+	return s, nil
+}
+
+// Client returns a replay stream over client id's recorded draws, cycling
+// at the end. Ids beyond the recorded set reuse traces round-robin, so a
+// trace recorded for n clients can drive a larger cluster.
+func (s *Schedule) Client(id int) Client {
+	if id < 0 {
+		id = -id
+	}
+	return &replayClient{trace: &s.Clients[id%len(s.Clients)]}
+}
+
+type replayClient struct {
+	trace      *ClientTrace
+	ti, hi, ri int // cursors
+}
+
+func (r *replayClient) Cohort() string { return r.trace.Cohort }
+func (r *replayClient) Open() bool     { return r.trace.Open }
+
+func (r *replayClient) NextThink() int64 {
+	v := r.trace.Thinks[r.ti%len(r.trace.Thinks)]
+	r.ti++
+	if v < 1 {
+		v = 1
+	}
+	return v
+}
+
+func (r *replayClient) NextHold() int64 {
+	v := r.trace.Holds[r.hi%len(r.trace.Holds)]
+	r.hi++
+	if v < 1 {
+		v = 1
+	}
+	return v
+}
+
+func (r *replayClient) NextResource(n int) int {
+	if n <= 1 || len(r.trace.Resources) == 0 {
+		return 0
+	}
+	v := r.trace.Resources[r.ri%len(r.trace.Resources)]
+	r.ri++
+	if v < 0 || v >= n {
+		v %= n
+		if v < 0 {
+			v += n
+		}
+	}
+	return v
+}
