@@ -33,10 +33,12 @@ test-race:
 
 # Race-enabled soak: a 5-node live TCP loopback cluster under the seeded
 # chaos schedule; fails unless it converges with zero post-convergence
-# safety violations. The second run replays the gray-burst scenario under
-# a bursty workload — the E16 gray-failure soak.
+# safety violations. Node 0 sends with the compact v2 wire codec so every
+# soak exercises v1/v2 interop on the batched send path. The second run
+# replays the gray-burst scenario under a bursty workload — the E16
+# gray-failure soak.
 soak:
-	$(GO) run -race ./cmd/gbload -n 5 -duration 10s -seed 1 -check
+	$(GO) run -race ./cmd/gbload -n 5 -duration 10s -seed 1 -v2 0 -check
 	$(GO) run -race ./cmd/gbload -n 5 -duration 10s -seed 1 -workload bursty -scenario gray-burst -check
 
 cover:
@@ -54,7 +56,7 @@ bench-baseline:
 # the CI bench-gate: ns/op is environment-sensitive across machines, so
 # allocs/op and bytes/op are the stable signals to watch in the diff table.
 bench-compare:
-	$(GO) run ./cmd/bench -out BENCH_PR6.json -compare BENCH_PR5.json -tolerance 0.15 -fail-tolerance 1.0
+	$(GO) run ./cmd/bench -out BENCH_PR7.json -compare BENCH_PR6.json -tolerance 0.15 -fail-tolerance 1.0
 
 # Regenerate every experiment table of EXPERIMENTS.md (full scale ≈ 30 min).
 experiments:

@@ -181,6 +181,11 @@ func run(args []string, out, errOut io.Writer) error {
 		b.ReportMetric(float64(latSum)/float64(b.N), "recovery-ticks/run")
 	})
 
+	// Wire path: loopback TCP throughput end to end, plus the raw codec
+	// round-trip floor underneath it.
+	record("bench_wire_throughput", benchWireThroughput)
+	record("bench_wire_codec", benchWireCodec)
+
 	w := out
 	if *outPath != "-" {
 		f, err := os.Create(*outPath)

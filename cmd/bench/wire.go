@@ -1,0 +1,106 @@
+// Wire-path benchmarks: loopback TCP throughput through wire.Transport
+// and raw codec cost. These are the measurements behind the batched-send
+// work — BENCH_PR7_PRE.json holds the pre-batching numbers, BENCH_PR7.json
+// the batched ones, both produced by this same harness.
+package main
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/graybox-stabilization/graybox/internal/ltime"
+	"github.com/graybox-stabilization/graybox/internal/tme"
+	"github.com/graybox-stabilization/graybox/internal/wire"
+)
+
+// benchWindow bounds how far the sender may run ahead of the receiver, so
+// the unbounded edge queue cannot eat gigabytes at large b.N while the
+// wire stays saturated enough to measure peak throughput.
+const benchWindow = 1 << 15
+
+// benchWireThroughput measures end-to-end loopback throughput: one
+// transport pair, b.N messages from process 0 to process 1, timed until
+// the last delivery. The msgs/sec metric is the headline number; allocs/op
+// and bytes/op expose per-message overhead of the send/recv chain.
+func benchWireThroughput(b *testing.B) {
+	t0, err := wire.NewTransport(wire.Config{N: 2, Local: []int{0}})
+	if err != nil {
+		b.Fatal(err)
+	}
+	t1, err := wire.NewTransport(wire.Config{N: 2, Local: []int{1}})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer func() { _ = t0.Close(); _ = t1.Close() }()
+	addrs := []string{t0.Addr(), t1.Addr()}
+	t0.SetPeers(addrs)
+	t1.SetPeers(addrs)
+
+	var recvd atomic.Int64
+	t0.Start(func(int, tme.Message) {})
+	t1.Start(func(int, tme.Message) { recvd.Add(1) })
+
+	// Prime the edge (dial, first frame) outside the timed region.
+	t0.Send(tme.Message{Kind: tme.Request, From: 0, To: 1})
+	waitCount(b, &recvd, 1)
+	recvd.Store(0)
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t0.Send(tme.Message{
+			Kind: tme.Request,
+			TS:   ltime.Timestamp{Clock: uint64(i), PID: 0},
+			From: 0, To: 1,
+		})
+		if i&1023 == 1023 {
+			for int64(i)-recvd.Load() > benchWindow {
+				time.Sleep(20 * time.Microsecond)
+			}
+		}
+	}
+	waitCount(b, &recvd, int64(b.N))
+	elapsed := b.Elapsed()
+	b.StopTimer()
+	if s := elapsed.Seconds(); s > 0 {
+		b.ReportMetric(float64(b.N)/s, "msgs/sec")
+	}
+}
+
+// waitCount spins until c reaches want (the receive side is asynchronous).
+func waitCount(b *testing.B, c *atomic.Int64, want int64) {
+	deadline := time.Now().Add(2 * time.Minute)
+	for c.Load() < want {
+		if time.Now().After(deadline) {
+			b.Fatalf("delivered %d of %d messages before timeout", c.Load(), want)
+		}
+		time.Sleep(20 * time.Microsecond)
+	}
+}
+
+// benchWireCodec measures the raw v1 encode+decode round trip with a
+// reused buffer — the per-frame CPU floor under all transport batching.
+func benchWireCodec(b *testing.B) {
+	buf := make([]byte, 0, wire.FrameSize)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m := tme.Message{
+			Kind: tme.Request,
+			TS:   ltime.Timestamp{Clock: uint64(i), PID: i & 3},
+			From: i & 3, To: (i + 1) & 3,
+		}
+		out, err := wire.AppendFrame(buf[:0], m)
+		if err != nil {
+			b.Fatal(err)
+		}
+		got, err := wire.DecodePayload(out[4:])
+		if err != nil {
+			b.Fatal(err)
+		}
+		if got != m {
+			b.Fatalf("round trip: %+v != %+v", got, m)
+		}
+	}
+}

@@ -2,6 +2,7 @@ package lint
 
 import (
 	"go/ast"
+	"go/token"
 	"go/types"
 )
 
@@ -19,16 +20,59 @@ import (
 //
 // Boxing detection needs type information; without it only the syntactic
 // checks run.
-type hotpathPass struct{}
+//
+// The pass also enforces Config.HotRequired: within packages matching a
+// rule's scope, every listed function ("Name" or "Type.Method") must
+// exist and carry the marker — the benchmarked chains cannot silently
+// drop out of the discipline. Collection happens per package; the verdict
+// fires in Finish so multi-package scopes aggregate first.
+type hotpathPass struct {
+	req []*hotReqState
+}
 
-func (hotpathPass) Name() string { return PassHotpath }
+// hotReqState accumulates the evidence for one HotRequired rule.
+type hotReqState struct {
+	matched bool                 // some linted package matched the scope
+	decl    map[string]token.Pos // declared functions by display name
+	marked  map[string]bool      // ...which of them carry the marker
+}
 
-func (hotpathPass) Check(cfg *Config, pkg *Package, report Reporter) {
+func newHotpathPass() *hotpathPass { return &hotpathPass{} }
+
+func (*hotpathPass) Name() string { return PassHotpath }
+
+func (p *hotpathPass) Check(cfg *Config, pkg *Package, report Reporter) {
+	if p.req == nil {
+		p.req = make([]*hotReqState, len(cfg.HotRequired))
+		for i := range p.req {
+			p.req[i] = &hotReqState{decl: map[string]token.Pos{}, marked: map[string]bool{}}
+		}
+	}
+	var tracking []*hotReqState
+	for i, rule := range cfg.HotRequired {
+		if matchPath(rule.Scope, pkg.Path) {
+			p.req[i].matched = true
+			tracking = append(tracking, p.req[i])
+		}
+	}
 	for _, f := range pkg.Files {
 		imports := fileImports(f)
 		for _, decl := range f.Decls {
 			fd, ok := decl.(*ast.FuncDecl)
-			if !ok || !isHotpath(fd) || fd.Body == nil {
+			if !ok {
+				continue
+			}
+			hot := isHotpath(fd)
+			for _, st := range tracking {
+				dn := declName(fd)
+				if _, seen := st.decl[dn]; !seen {
+					st.decl[dn] = fd.Name.Pos()
+				}
+				if hot {
+					st.marked[dn] = true
+				}
+			}
+			if !hot || fd.Body == nil {
 				continue
 			}
 			name := fd.Name.Name
@@ -41,6 +85,49 @@ func (hotpathPass) Check(cfg *Config, pkg *Package, report Reporter) {
 				}
 				return true
 			})
+		}
+	}
+}
+
+// Finish reports HotRequired violations: a required function that is
+// unmarked (at its declaration) or missing entirely (at no position).
+func (p *hotpathPass) Finish(cfg *Config, report Reporter) {
+	for i, rule := range cfg.HotRequired {
+		if i >= len(p.req) || !p.req[i].matched {
+			continue // scope never linted this run; stay quiet
+		}
+		st := p.req[i]
+		for _, fn := range rule.Funcs {
+			pos, declared := st.decl[fn]
+			switch {
+			case !declared:
+				report(token.NoPos, "HotRequired function %s not found in %s (renamed or removed? %s)", fn, rule.Scope, rule.Reason)
+			case !st.marked[fn]:
+				report(pos, "function %s must be marked //gblint:hotpath: %s", fn, rule.Reason)
+			}
+		}
+	}
+}
+
+// declName is a FuncDecl's HotRequired display name: "Name" for plain
+// functions, "Type.Method" for methods (pointer receivers included).
+func declName(fd *ast.FuncDecl) string {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return fd.Name.Name
+	}
+	t := fd.Recv.List[0].Type
+	for {
+		switch x := t.(type) {
+		case *ast.StarExpr:
+			t = x.X
+		case *ast.IndexExpr:
+			t = x.X
+		case *ast.IndexListExpr:
+			t = x.X
+		case *ast.Ident:
+			return x.Name + "." + fd.Name.Name
+		default:
+			return fd.Name.Name
 		}
 	}
 }

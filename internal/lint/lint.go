@@ -55,6 +55,15 @@ func (d Diagnostic) String() string {
 	return fmt.Sprintf("%s: [%s] %s", d.Pos, d.Pass, d.Msg)
 }
 
+// HotRequiredRule pins the //gblint:hotpath marker onto the functions of
+// the packages matching Scope: each entry of Funcs ("Name" or
+// "Type.Method") must exist there and be marked.
+type HotRequiredRule struct {
+	Scope  string
+	Funcs  []string
+	Reason string
+}
+
 // LayerRule constrains the imports of the packages matching Scope.
 // Patterns match an import path exactly or as a path-boundary suffix, so
 // "internal/sim" matches "example.com/mod/internal/sim"; a trailing "/..."
@@ -98,6 +107,13 @@ type Config struct {
 
 	// HotFmtFuncs are the fmt functions banned in hotpath functions.
 	HotFmtFuncs []string
+	// HotRequired lists functions that MUST carry the //gblint:hotpath
+	// marker — the benchmarked chains whose allocation discipline is
+	// enforced, not optional. A rule only applies when a linted package
+	// matches its scope (so partial lint runs stay quiet); within a
+	// matching package, a listed function that is missing or unmarked is
+	// a finding. Methods are named "Type.Method".
+	HotRequired []HotRequiredRule
 
 	// ObsPackage is the package pattern holding the nil-safe instrument
 	// types and the Registry whose Counter/Gauge/Histogram methods
@@ -164,6 +180,13 @@ func DefaultConfig() *Config {
 			"Sprintf", "Sprint", "Sprintln", "Errorf",
 			"Fprintf", "Fprint", "Fprintln", "Printf", "Print", "Println",
 		},
+		HotRequired: []HotRequiredRule{
+			{Scope: "internal/wire", Funcs: []string{
+				"AppendFrame", "DecodePayload", "Reader.ReadMessage",
+				"V2Encoder.AppendFrame", "V2Reader.ReadMessage",
+				"Transport.encodeBatch", "msgQueue.put", "msgQueue.drain",
+			}, Reason: "the wire send/recv chain is benchmarked allocation-free (bench_wire_throughput); the hotpath contract on it is load-bearing, not decorative"},
+		},
 		ObsPackage: "internal/obs",
 	}
 }
@@ -226,7 +249,7 @@ func NewRunner(cfg *Config, fset *token.FileSet) *Runner {
 	all := []Pass{
 		layeringPass{},
 		determinismPass{},
-		hotpathPass{},
+		newHotpathPass(),
 		newObsPass(),
 	}
 	r := &Runner{cfg: cfg, fset: fset, ignores: map[string]map[int][]string{}}

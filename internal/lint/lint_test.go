@@ -92,6 +92,15 @@ func lintFixtures(t *testing.T, cfg *Config, exports map[string]string) []Diagno
 func fixtureConfig() *Config {
 	cfg := DefaultConfig()
 	cfg.Module = fixtureModule
+	// The hot fixture also exercises HotRequired: Encode is marked
+	// (quiet), ring.pop is required but unmarked (finding). The default
+	// internal/wire rule stays in the table and must stay silent — no
+	// fixture package matches its scope.
+	cfg.HotRequired = append(cfg.HotRequired, HotRequiredRule{
+		Scope:  "internal/hot",
+		Funcs:  []string{"Encode", "ring.pop"},
+		Reason: "fixture: required hot chain",
+	})
 	return cfg
 }
 
@@ -210,6 +219,29 @@ func TestDirective(t *testing.T) {
 			t.Errorf("directive(%q, %q) = (%q, %v), want (%q, %v)",
 				c.comment, c.name, rest, ok, c.rest, c.ok)
 		}
+	}
+}
+
+// TestHotRequiredMissingFunction checks the no-such-function arm of the
+// HotRequired rule: a required name that exists nowhere in the scope is a
+// finding (at no position — there is no declaration to point at), so the
+// table cannot silently rot when a hot function is renamed away.
+func TestHotRequiredMissingFunction(t *testing.T) {
+	cfg := fixtureConfig()
+	cfg.Passes = []string{PassHotpath}
+	cfg.HotRequired = append(cfg.HotRequired, HotRequiredRule{
+		Scope:  "internal/hot",
+		Funcs:  []string{"VanishedFrame"},
+		Reason: "unit test",
+	})
+	found := false
+	for _, d := range lintFixtures(t, cfg, nil) {
+		if d.Pass == PassHotpath && strings.Contains(d.Msg, "VanishedFrame not found") {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("no finding for a HotRequired function that does not exist")
 	}
 }
 

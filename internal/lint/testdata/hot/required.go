@@ -1,0 +1,21 @@
+// HotRequired fixture half: the fixture config pins the marker onto
+// Encode, ring.pop, and a function that does not exist. Encode carries
+// it (quiet), ring.pop forgot it (finding at the declaration), and the
+// missing one is reported with no position.
+package hot
+
+// Encode is required and marked: no finding.
+//
+//gblint:hotpath
+func Encode(dst []byte, v int) []byte {
+	return append(dst, byte(v))
+}
+
+type ring struct{ items []int }
+
+// pop is on the required list but lost its marker.
+func (r *ring) pop() int { // want:hotpath "must be marked //gblint:hotpath"
+	v := r.items[0]
+	r.items = r.items[1:]
+	return v
+}

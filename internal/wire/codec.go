@@ -68,12 +68,14 @@ var (
 // the wire shape (kind outside a byte, ids outside int32) — the codec
 // deliberately accepts invalid-but-encodable values, since the fault model
 // forges them on purpose.
+//
+//gblint:hotpath
 func AppendFrame(dst []byte, m tme.Message) ([]byte, error) {
 	if m.Kind < 0 || m.Kind > math.MaxUint8 {
-		return dst, fmt.Errorf("%w: kind %d", ErrFieldRange, m.Kind)
+		return dst, errKindRange(m.Kind)
 	}
 	if !fitsInt32(m.TS.PID) || !fitsInt32(m.From) || !fitsInt32(m.To) {
-		return dst, fmt.Errorf("%w: pid/from/to (%d,%d,%d)", ErrFieldRange, m.TS.PID, m.From, m.To)
+		return dst, errIDRange(m.TS.PID, m.From, m.To)
 	}
 	var b [FrameSize]byte
 	binary.BigEndian.PutUint32(b[0:4], payloadV1Size)
@@ -91,15 +93,17 @@ func fitsInt32(v int) bool { return v >= math.MinInt32 && v <= math.MaxInt32 }
 
 // DecodePayload decodes one payload (the bytes after the length prefix).
 // Malformed input returns an error; no input panics.
+//
+//gblint:hotpath
 func DecodePayload(p []byte) (tme.Message, error) {
 	if len(p) < 1 {
-		return tme.Message{}, fmt.Errorf("%w: empty payload", ErrBadLength)
+		return tme.Message{}, errBadLengthBytes(0)
 	}
 	if p[0] != Version {
-		return tme.Message{}, fmt.Errorf("%w: %d", ErrBadVersion, p[0])
+		return tme.Message{}, errBadVersion(p[0])
 	}
 	if len(p) != payloadV1Size {
-		return tme.Message{}, fmt.Errorf("%w: %d bytes", ErrBadLength, len(p))
+		return tme.Message{}, errBadLengthBytes(len(p))
 	}
 	if binary.BigEndian.Uint16(p[2:4]) != 0 {
 		return tme.Message{}, ErrBadFlags
@@ -154,24 +158,56 @@ func NewReader(r io.Reader) *Reader {
 // frame (oversized length, bad version/length/flags) returns an error and
 // leaves the stream mid-frame — callers should drop the connection, since
 // framing is lost.
+//
+// Every conforming v1 frame is exactly FrameSize bytes, so the reader
+// pulls header and payload with one ReadFull into a reused buffer — over
+// a bufio.Reader that is one buffer copy, not two reads. A short read is
+// still diagnosed from whatever arrived: a complete length prefix
+// claiming more than MaxPayload reports ErrPayloadTooLarge even when the
+// rest of the frame never showed up.
+//
+//gblint:hotpath
 func (r *Reader) ReadMessage() (tme.Message, error) {
-	var hdr [lenPrefixSize]byte
-	if _, err := io.ReadFull(r.r, hdr[:]); err != nil {
-		return tme.Message{}, err
-	}
-	n := binary.BigEndian.Uint32(hdr[:])
-	if n > MaxPayload {
-		return tme.Message{}, fmt.Errorf("%w: %d", ErrPayloadTooLarge, n)
-	}
-	if int(n) > cap(r.buf) {
-		r.buf = make([]byte, n)
-	}
-	p := r.buf[:n]
-	if _, err := io.ReadFull(r.r, p); err != nil {
-		if err == io.EOF {
-			err = io.ErrUnexpectedEOF
+	buf := r.buf[:FrameSize]
+	n, err := io.ReadFull(r.r, buf)
+	if err != nil {
+		if n >= lenPrefixSize {
+			if pl := binary.BigEndian.Uint32(buf[:lenPrefixSize]); pl > MaxPayload {
+				return tme.Message{}, errPayloadTooLarge(pl)
+			}
 		}
 		return tme.Message{}, err
 	}
-	return DecodePayload(p)
+	pl := binary.BigEndian.Uint32(buf[:lenPrefixSize])
+	if pl > MaxPayload {
+		return tme.Message{}, errPayloadTooLarge(pl)
+	}
+	if pl != payloadV1Size {
+		return tme.Message{}, errBadLengthBytes(int(pl))
+	}
+	return DecodePayload(buf[lenPrefixSize:])
+}
+
+// Error constructors live outside the hotpath-marked codec bodies: the
+// lint pass bans fmt in hot functions, and on the fast path none of these
+// run — the allocation happens only on the (connection-fatal) error arm.
+
+func errKindRange(k tme.Kind) error {
+	return fmt.Errorf("%w: kind %d", ErrFieldRange, k)
+}
+
+func errIDRange(pid, from, to int) error {
+	return fmt.Errorf("%w: pid/from/to (%d,%d,%d)", ErrFieldRange, pid, from, to)
+}
+
+func errBadVersion(v byte) error {
+	return fmt.Errorf("%w: %d", ErrBadVersion, v)
+}
+
+func errBadLengthBytes(n int) error {
+	return fmt.Errorf("%w: %d bytes", ErrBadLength, n)
+}
+
+func errPayloadTooLarge(n uint32) error {
+	return fmt.Errorf("%w: %d", ErrPayloadTooLarge, n)
 }

@@ -133,9 +133,11 @@ func TestReaderRejectsOversizedLength(t *testing.T) {
 	}
 }
 
-// FuzzDecodeFrame feeds arbitrary byte streams through the deframing
-// reader: malformed input must error, never panic, and anything that
-// decodes must re-encode to an identical payload.
+// FuzzDecodeFrame feeds arbitrary byte streams through both deframing
+// readers: malformed input must error, never panic, and anything that
+// decodes must re-encode to an identical message under its codec. The v2
+// half replays the stream through a stateful V2Reader — intern-table and
+// clock-delta state are part of the attack surface.
 func FuzzDecodeFrame(f *testing.F) {
 	for _, m := range sampleMessages() {
 		b, err := AppendFrame(nil, m)
@@ -144,6 +146,16 @@ func FuzzDecodeFrame(f *testing.F) {
 		}
 		f.Add(b)
 	}
+	enc := NewV2Encoder()
+	var v2stream []byte
+	for _, m := range sampleMessages() {
+		b, err := enc.AppendFrame(v2stream, m)
+		if err != nil {
+			f.Fatal(err)
+		}
+		v2stream = b
+	}
+	f.Add(v2stream)
 	f.Add([]byte{})
 	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF})
 	f.Add(bytes.Repeat([]byte{0}, FrameSize))
@@ -152,7 +164,7 @@ func FuzzDecodeFrame(f *testing.F) {
 		for {
 			m, err := r.ReadMessage()
 			if err != nil {
-				return
+				break
 			}
 			b, err := AppendFrame(nil, m)
 			if err != nil {
@@ -161,6 +173,24 @@ func FuzzDecodeFrame(f *testing.F) {
 			got, err := DecodePayload(b[lenPrefixSize:])
 			if err != nil || got != m {
 				t.Fatalf("re-decode mismatch: %+v vs %+v (err %v)", got, m, err)
+			}
+		}
+		r2 := NewV2Reader(bytes.NewReader(data))
+		for {
+			m, err := r2.ReadMessage()
+			if err != nil {
+				break
+			}
+			// Anything the v2 decoder accepts must survive a fresh
+			// encode/decode round trip (codec state changes the bytes,
+			// never the message).
+			b, err := NewV2Encoder().AppendFrame(nil, m)
+			if err != nil {
+				t.Fatalf("v2-decoded message %+v does not re-encode: %v", m, err)
+			}
+			got, err := NewV2Reader(bytes.NewReader(b)).ReadMessage()
+			if err != nil || got != m {
+				t.Fatalf("v2 re-decode mismatch: %+v vs %+v (err %v)", got, m, err)
 			}
 		}
 	})

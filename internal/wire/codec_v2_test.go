@@ -1,0 +1,280 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"math"
+	"testing"
+	"time"
+
+	"github.com/graybox-stabilization/graybox/internal/ltime"
+	"github.com/graybox-stabilization/graybox/internal/obs"
+	"github.com/graybox-stabilization/graybox/internal/tme"
+)
+
+func TestV2StreamRoundTrip(t *testing.T) {
+	enc := NewV2Encoder()
+	var stream []byte
+	msgs := sampleMessages()
+	// Append a realistic protocol run on top: repeating ids and mostly
+	// increasing clocks, the case the interning/delta layout targets.
+	for i := 0; i < 50; i++ {
+		msgs = append(msgs, tme.Message{
+			Kind: tme.Request,
+			TS:   ltime.Timestamp{Clock: uint64(100 + i), PID: i % 4},
+			From: i % 4, To: (i + 1) % 4,
+		})
+	}
+	for _, m := range msgs {
+		b, err := enc.AppendFrame(stream, m)
+		if err != nil {
+			t.Fatalf("AppendFrame(%+v): %v", m, err)
+		}
+		stream = b
+	}
+	r := NewV2Reader(bytes.NewReader(stream))
+	for i, want := range msgs {
+		got, err := r.ReadMessage()
+		if err != nil {
+			t.Fatalf("ReadMessage #%d: %v", i, err)
+		}
+		if got != want {
+			t.Fatalf("#%d: got %+v, want %+v", i, got, want)
+		}
+	}
+	if _, err := r.ReadMessage(); err != io.EOF {
+		t.Errorf("stream end err = %v, want io.EOF", err)
+	}
+	if avg := len(stream) / len(msgs); avg >= FrameSize {
+		t.Errorf("v2 stream averages %d bytes/frame, not compact vs v1's %d", avg, FrameSize)
+	}
+}
+
+func TestV2SteadyStateFrameIsTiny(t *testing.T) {
+	enc := NewV2Encoder()
+	var b []byte
+	var err error
+	// Warm the intern table and clock delta.
+	for i := 0; i < 8; i++ {
+		b, err = enc.AppendFrame(b[:0], tme.Message{
+			Kind: tme.Request,
+			TS:   ltime.Timestamp{Clock: uint64(1000 + i), PID: i % 4},
+			From: i % 4, To: (i + 1) % 4,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(b) > 6 {
+		t.Errorf("steady-state v2 frame = %d bytes, want <= 6 (kind + 4 one-byte varints)", len(b))
+	}
+}
+
+func TestV2AppendFrameRejectsUnencodable(t *testing.T) {
+	bad := []tme.Message{
+		{Kind: -1},
+		{Kind: 256},
+		{From: math.MaxInt32 + 1},
+		{TS: ltime.Timestamp{PID: math.MinInt32 - 1}},
+	}
+	for _, m := range bad {
+		enc := NewV2Encoder()
+		before := *enc
+		out, err := enc.AppendFrame(nil, m)
+		if !errors.Is(err, ErrFieldRange) {
+			t.Errorf("AppendFrame(%+v) err = %v, want ErrFieldRange", m, err)
+		}
+		if len(out) != 0 {
+			t.Errorf("AppendFrame(%+v) appended %d bytes on error", m, len(out))
+		}
+		if *enc != before {
+			t.Errorf("AppendFrame(%+v) mutated encoder state on error", m)
+		}
+	}
+}
+
+// Truncating a v2 stream at every byte boundary must error (never panic,
+// never fabricate a message from a partial frame).
+func TestV2ReaderTruncation(t *testing.T) {
+	enc := NewV2Encoder()
+	b, err := enc.AppendFrame(nil, tme.Message{
+		Kind: tme.Reply,
+		TS:   ltime.Timestamp{Clock: 1 << 40, PID: 123456},
+		From: -99, To: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cut := 1; cut < len(b); cut++ {
+		r := NewV2Reader(bytes.NewReader(b[:cut]))
+		if _, err := r.ReadMessage(); err == nil {
+			t.Fatalf("truncation at %d of %d bytes decoded cleanly", cut, len(b))
+		}
+	}
+}
+
+// Garbage never panics: either it happens to decode (forged frames are
+// legal — the fault model makes them) or it errors.
+func TestV2ReaderGarbage(t *testing.T) {
+	cases := [][]byte{
+		{0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF},
+		{0x01, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x01}, // overlong varint
+		{0x00, 0x00, 0x02, 0x00, 0x00},                                           // reference into empty table
+		bytes.Repeat([]byte{0xAA}, 64),
+	}
+	for i, data := range cases {
+		r := NewV2Reader(bytes.NewReader(data))
+		for {
+			if _, err := r.ReadMessage(); err != nil {
+				break // error (not panic) is the requirement
+			}
+		}
+		_ = i
+	}
+}
+
+func TestV2ReaderBadInternRef(t *testing.T) {
+	// kind, zero clock delta, then a reference tag (LSB 0) to slot 5 of a
+	// table nothing has populated.
+	data := []byte{byte(tme.Request), 0x00, 5 << 1, 0x00, 0x00}
+	r := NewV2Reader(bytes.NewReader(data))
+	if _, err := r.ReadMessage(); !errors.Is(err, ErrV2BadRef) {
+		t.Errorf("err = %v, want ErrV2BadRef", err)
+	}
+}
+
+// The intern table is deliberately tiny; cycling through more ids than it
+// holds must still round-trip exactly (literals re-emitted after eviction).
+func TestV2InternTableEviction(t *testing.T) {
+	enc := NewV2Encoder()
+	var stream []byte
+	var msgs []tme.Message
+	for i := 0; i < 3*internSlots; i++ {
+		m := tme.Message{
+			Kind: tme.Request,
+			TS:   ltime.Timestamp{Clock: uint64(i), PID: i % (internSlots + 7)},
+			From: (i * 31) % (2 * internSlots), To: i % 5,
+		}
+		b, err := enc.AppendFrame(stream, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		stream = b
+		msgs = append(msgs, m)
+	}
+	r := NewV2Reader(bytes.NewReader(stream))
+	for i, want := range msgs {
+		got, err := r.ReadMessage()
+		if err != nil {
+			t.Fatalf("#%d: %v", i, err)
+		}
+		if got != want {
+			t.Fatalf("#%d: got %+v, want %+v (intern desync)", i, got, want)
+		}
+	}
+}
+
+// A transport configured for the v2 codec and a default (v1) transport
+// must interoperate in both directions: the version is a per-connection
+// sender choice, receivers sniff the preamble.
+func TestTransportMixedCodecCluster(t *testing.T) {
+	o := make([]*obs.Obs, 3)
+	tr := make([]*Transport, 3)
+	col := make([]*collector, 3)
+	addrs := make([]string, 3)
+	for i := range tr {
+		o[i] = obs.New(obs.Options{})
+		cfg := Config{N: 3, Local: []int{i}, Obs: o[i]}
+		if i == 0 {
+			cfg.Codec = Version2 // node 0 speaks v2 outbound; 1 and 2 stay v1
+		}
+		x, err := NewTransport(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr[i] = x
+		addrs[i] = x.Addr()
+		col[i] = &collector{}
+	}
+	t.Cleanup(func() {
+		for _, x := range tr {
+			_ = x.Close()
+		}
+	})
+	for i, x := range tr {
+		x.SetPeers(addrs)
+		x.Start(col[i].deliver)
+	}
+	const n = 40
+	for i := 0; i < n; i++ {
+		for src := 0; src < 3; src++ {
+			tr[src].Send(tme.Message{
+				Kind: tme.Request,
+				TS:   ltime.Timestamp{Clock: uint64(i), PID: src},
+				From: src, To: (src + 1) % 3,
+			})
+		}
+	}
+	for dst := 0; dst < 3; dst++ {
+		got := col[dst].waitLen(t, n, 5*time.Second)
+		src := (dst + 2) % 3
+		for i, m := range got[:n] {
+			if m.From != src || m.TS.Clock != uint64(i) {
+				t.Fatalf("node %d message %d = %+v, want from %d clock %d", dst, i, m, src, i)
+			}
+		}
+	}
+	// Node 1 receives node 0's v2 connection; node 2 receives only v1.
+	if v2 := o[1].Registry().Counter("wire_v2_conns_total", "").Value(); v2 != 1 {
+		t.Errorf("node 1 wire_v2_conns_total = %d, want 1", v2)
+	}
+	if v2 := o[2].Registry().Counter("wire_v2_conns_total", "").Value(); v2 != 0 {
+		t.Errorf("node 2 wire_v2_conns_total = %d, want 0", v2)
+	}
+}
+
+// A v2 sender redialing after a peer restart must reset codec state with
+// the connection: the retransmitted batch decodes on a fresh decoder.
+func TestTransportV2SurvivesPeerRestart(t *testing.T) {
+	t0, err := NewTransport(Config{N: 2, Local: []int{0}, Codec: Version2, DialBackoffMin: 5 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = t0.Close() })
+	t0.Start(func(int, tme.Message) {})
+
+	t1a, err := NewTransport(Config{N: 2, Local: []int{1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c1a := &collector{}
+	t1a.Start(c1a.deliver)
+	t0.SetPeers([]string{"", t1a.Addr()})
+	for i := 0; i < 10; i++ {
+		t0.Send(tme.Message{Kind: tme.Request, TS: ltime.Timestamp{Clock: uint64(i), PID: 0}, From: 0, To: 1})
+	}
+	c1a.waitLen(t, 10, 5*time.Second)
+	_ = t1a.Close()
+
+	t1b, err := NewTransport(Config{N: 2, Local: []int{1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = t1b.Close() })
+	c1b := &collector{}
+	t1b.Start(c1b.deliver)
+	t0.SetPeers([]string{"", t1b.Addr()})
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) && len(c1b.snapshot()) == 0 {
+		t0.Send(tme.Message{Kind: tme.Reply, TS: ltime.Timestamp{Clock: 1 << 33, PID: 0}, From: 0, To: 1})
+		time.Sleep(5 * time.Millisecond)
+	}
+	got := c1b.snapshot()
+	if len(got) == 0 {
+		t.Fatal("no message arrived after peer restart")
+	}
+	if got[0].TS.Clock != 1<<33 || got[0].Kind != tme.Reply {
+		t.Fatalf("post-restart message = %+v (v2 state not reset with connection?)", got[0])
+	}
+}

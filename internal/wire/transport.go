@@ -1,10 +1,12 @@
 package wire
 
 import (
+	"bufio"
 	"fmt"
 	"io"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/graybox-stabilization/graybox/internal/obs"
@@ -22,6 +24,11 @@ type Config struct {
 	// Listen is the TCP listen address. Default "127.0.0.1:0" (loopback,
 	// kernel-chosen port — read it back with Addr).
 	Listen string
+	// Codec selects the frame encoding for *outgoing* connections:
+	// Version (1, the default) or Version2 (compact varint frames,
+	// announced per connection with a preamble). Inbound connections
+	// always auto-detect, so mixed-codec clusters interoperate.
+	Codec int
 	// DialBackoffMin/Max bound the exponential reconnect backoff.
 	// Defaults 20ms / 2s.
 	DialBackoffMin, DialBackoffMax time.Duration
@@ -32,6 +39,9 @@ type Config struct {
 func (c Config) withDefaults() Config {
 	if c.Listen == "" {
 		c.Listen = "127.0.0.1:0"
+	}
+	if c.Codec == 0 {
+		c.Codec = Version
 	}
 	if c.DialBackoffMin <= 0 {
 		c.DialBackoffMin = 20 * time.Millisecond
@@ -51,6 +61,10 @@ type wireInstruments struct {
 	dials      *obs.Counter
 	dialErrors *obs.Counter
 	connErrors *obs.Counter
+	flushes    *obs.Counter
+	bytesSent  *obs.Counter
+	v2Conns    *obs.Counter
+	batchSize  *obs.Histogram
 }
 
 func newWireInstruments(o *obs.Obs) wireInstruments {
@@ -61,10 +75,14 @@ func newWireInstruments(o *obs.Obs) wireInstruments {
 	return wireInstruments{
 		sent:       r.Counter("wire_msgs_sent_total", "messages framed onto TCP connections"),
 		recv:       r.Counter("wire_msgs_recv_total", "messages deframed from TCP connections"),
-		dropped:    r.Counter("wire_msgs_dropped_total", "messages dropped (unknown peer, no delivery callback, or misrouted)"),
+		dropped:    r.Counter("wire_msgs_dropped_total", "messages dropped (unknown peer, no delivery callback, misrouted, or unencodable)"),
 		dials:      r.Counter("wire_dials_total", "successful TCP dials"),
 		dialErrors: r.Counter("wire_dial_errors_total", "failed TCP dial attempts"),
 		connErrors: r.Counter("wire_conn_errors_total", "connection read/write errors (excluding clean close)"),
+		flushes:    r.Counter("wire_flushes_total", "batched sender flushes (≈ write syscalls)"),
+		bytesSent:  r.Counter("wire_bytes_sent_total", "frame bytes flushed onto TCP connections"),
+		v2Conns:    r.Counter("wire_v2_conns_total", "inbound connections negotiated to the v2 codec"),
+		batchSize:  r.Histogram("wire_batch_size", "messages per sender flush", []int64{1, 2, 4, 8, 16, 32, 64, 128, 256, 1024, 4096}),
 	}
 }
 
@@ -83,12 +101,21 @@ type Transport struct {
 	local []bool
 	ins   wireInstruments
 
-	mu      sync.Mutex
-	peers   []string
-	edges   map[edgeKey]*outEdge
-	deliver func(dst int, m tme.Message)
-	conns   map[net.Conn]struct{}
-	closed  bool
+	// deliver and peers are read on every message by Send, the edge
+	// senders, and every inbound reader, so both live behind atomic
+	// pointers instead of the mutex: Start/SetPeers publish a fresh
+	// value, hot paths Load without contention.
+	deliver atomic.Pointer[func(dst int, m tme.Message)]
+	peers   atomic.Pointer[[]string]
+
+	// dial is the edge dialer, swappable by tests (backoff behaviour
+	// under dial-succeeds-write-fails peers needs a deterministic conn).
+	dial func(addr string) (net.Conn, error)
+
+	mu     sync.Mutex
+	edges  map[edgeKey]*outEdge
+	conns  map[net.Conn]struct{}
+	closed bool
 
 	stop chan struct{}
 	wg   sync.WaitGroup
@@ -110,15 +137,20 @@ func NewTransport(cfg Config) (*Transport, error) {
 		return nil, fmt.Errorf("wire: Config.N (%d) and Local are required", cfg.N)
 	}
 	cfg = cfg.withDefaults()
+	if cfg.Codec != Version && cfg.Codec != Version2 {
+		return nil, fmt.Errorf("wire: Config.Codec %d is not a known version (want %d or %d)", cfg.Codec, Version, Version2)
+	}
 	t := &Transport{
 		cfg:   cfg,
 		local: make([]bool, cfg.N),
 		ins:   newWireInstruments(cfg.Obs),
 		edges: make(map[edgeKey]*outEdge),
-		peers: make([]string, cfg.N),
 		conns: make(map[net.Conn]struct{}),
 		stop:  make(chan struct{}),
 	}
+	t.dial = func(addr string) (net.Conn, error) { return net.DialTimeout("tcp", addr, time.Second) }
+	peers := make([]string, cfg.N)
+	t.peers.Store(&peers)
 	for _, id := range cfg.Local {
 		if id < 0 || id >= cfg.N {
 			return nil, fmt.Errorf("wire: Config.Local id %d out of range [0,%d)", id, cfg.N)
@@ -140,17 +172,17 @@ func (t *Transport) Addr() string { return t.ln.Addr().String() }
 // local ids are ignored). May be called again to repoint edges; the next
 // (re)dial uses the new address.
 func (t *Transport) SetPeers(addrs []string) {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	copy(t.peers, addrs)
+	peers := make([]string, t.cfg.N)
+	copy(peers, addrs)
+	t.peers.Store(&peers)
 }
 
 // Start installs the delivery callback and begins accepting inbound
 // connections. Part of the runtime.Transport contract.
 func (t *Transport) Start(deliver func(dst int, m tme.Message)) {
-	t.mu.Lock()
-	t.deliver = deliver
-	t.mu.Unlock()
+	if deliver != nil {
+		t.deliver.Store(&deliver)
+	}
 	t.wg.Add(1)
 	//gblint:ignore determinism the TCP transport runs on real sockets; determinism is the simulator's job
 	go t.acceptLoop()
@@ -164,14 +196,12 @@ func (t *Transport) Send(m tme.Message) {
 		return
 	}
 	if t.local[m.To] {
-		t.mu.Lock()
-		d := t.deliver
-		t.mu.Unlock()
+		d := t.deliver.Load()
 		if d == nil {
 			t.ins.dropped.Inc()
 			return
 		}
-		d(m.To, m)
+		(*d)(m.To, m)
 		return
 	}
 	e := t.edge(m.From, m.To)
@@ -237,9 +267,7 @@ func (t *Transport) untrack(c net.Conn) {
 }
 
 func (t *Transport) peerAddr(id int) string {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	return t.peers[id]
+	return (*t.peers.Load())[id]
 }
 
 // acceptLoop owns the listener.
@@ -259,15 +287,32 @@ func (t *Transport) acceptLoop() {
 	}
 }
 
-// serveConn deframes one inbound connection until error or close. A
-// malformed frame loses stream framing, so the connection is dropped (the
-// peer redials).
+// serveConn deframes one inbound connection until error or close. The
+// whole stream goes through one buffered reader, so a frame costs a
+// buffer copy, not a syscall; the codec version is negotiated once from
+// the connection preamble (v2 announces itself, anything else is v1). A
+// malformed frame loses stream framing, so the connection is dropped
+// (the peer redials).
 func (t *Transport) serveConn(c net.Conn) {
 	defer t.wg.Done()
 	defer t.untrack(c)
-	r := NewReader(c)
+	br := bufio.NewReaderSize(c, connBufSize)
+	var r1 *Reader
+	var r2 *V2Reader
+	if sniffV2(br) {
+		t.ins.v2Conns.Inc()
+		r2 = NewV2Reader(br)
+	} else {
+		r1 = NewReader(br)
+	}
 	for {
-		m, err := r.ReadMessage()
+		var m tme.Message
+		var err error
+		if r2 != nil {
+			m, err = r2.ReadMessage()
+		} else {
+			m, err = r1.ReadMessage()
+		}
 		if err != nil {
 			if err != io.EOF {
 				t.ins.connErrors.Inc()
@@ -279,80 +324,165 @@ func (t *Transport) serveConn(c net.Conn) {
 			t.ins.dropped.Inc()
 			continue
 		}
-		t.mu.Lock()
-		d := t.deliver
-		t.mu.Unlock()
+		d := t.deliver.Load()
 		if d == nil {
 			t.ins.dropped.Inc()
 			continue
 		}
-		d(m.To, m)
+		(*d)(m.To, m)
 	}
 }
 
-// sender drains one edge in FIFO order. The current message is retried
-// across redials (with exponential backoff), so a crashed-and-restarted
-// peer picks the stream back up; unsendable messages only die with the
-// transport.
+// sniffV2 reports whether the connection opens with the v2 preamble,
+// consuming it when present. Any other prefix (including a short or
+// already-EOF stream) leaves the reader untouched for the v1 deframer.
+func sniffV2(br *bufio.Reader) bool {
+	pre, err := br.Peek(len(v2Preamble))
+	if err != nil || string(pre) != v2Preamble {
+		return false
+	}
+	_, _ = br.Discard(len(v2Preamble))
+	return true
+}
+
+// Retained-buffer bounds for the per-edge sender: a burst may grow the
+// pending batch and frame buffer arbitrarily, but between drain turns the
+// sender keeps at most this much, so one spike does not pin memory for
+// the life of the edge.
+const (
+	connBufSize      = 64 << 10
+	maxRetainedMsgs  = 16 << 10
+	maxRetainedBytes = 1 << 20
+)
+
+// sender drains one edge in FIFO order, batching: every message queued at
+// drain time is encoded into one pooled frame buffer and flushed with a
+// single write, so the syscall and lock cost is per *batch*, not per
+// message. Messages drained but not yet flushed are retried across
+// redials (with exponential backoff), so a crashed-and-restarted peer
+// picks the stream back up; unsendable messages only die with the
+// transport. The backoff resets only after a successful flush — a peer
+// that accepts dials and immediately resets cannot hold the sender in a
+// tight dial loop.
 func (t *Transport) sender(e *outEdge) {
 	defer t.wg.Done()
 	var conn net.Conn
-	var w *Writer
+	var bw *bufio.Writer
+	var enc *V2Encoder // nil on v1 connections
+	var pending []tme.Message
+	var frames []byte
 	dropConn := func() {
 		if conn != nil {
 			t.untrack(conn)
-			conn, w = nil, nil
+			conn, bw, enc = nil, nil, nil
 		}
 	}
 	defer dropConn()
 	backoff := t.cfg.DialBackoffMin
 	for {
-		m, ok := e.q.get(t.stop)
-		if !ok {
-			return
-		}
-		for {
-			if conn == nil {
-				addr := t.peerAddr(e.dst)
-				if addr == "" {
-					// Peer address not yet known: wait and retry, the
-					// queue keeps FIFO order in the meantime.
-					if !sleepUntil(t.stop, backoff) {
-						return
-					}
-					backoff = nextBackoff(backoff, t.cfg.DialBackoffMax)
-					continue
-				}
-				c, err := net.DialTimeout("tcp", addr, time.Second)
-				if err != nil {
-					t.ins.dialErrors.Inc()
-					if !sleepUntil(t.stop, backoff) {
-						return
-					}
-					backoff = nextBackoff(backoff, t.cfg.DialBackoffMax)
-					continue
-				}
-				if !t.track(c) {
-					return
-				}
-				t.ins.dials.Inc()
-				conn, w = c, NewWriter(c)
-				backoff = t.cfg.DialBackoffMin
+		if len(pending) == 0 {
+			var ok bool
+			pending, ok = e.q.drain(t.stop, pending[:0])
+			if !ok {
+				return
 			}
-			if err := w.WriteMessage(m); err != nil {
-				t.ins.connErrors.Inc()
-				dropConn()
-				select {
-				case <-t.stop:
+		}
+		if conn == nil {
+			addr := t.peerAddr(e.dst)
+			if addr == "" {
+				// Peer address not yet known: wait and retry, the
+				// queue keeps FIFO order in the meantime.
+				if !sleepUntil(t.stop, backoff) {
 					return
-				default:
 				}
+				backoff = nextBackoff(backoff, t.cfg.DialBackoffMax)
 				continue
 			}
-			t.ins.sent.Inc()
-			break
+			c, err := t.dial(addr)
+			if err != nil {
+				t.ins.dialErrors.Inc()
+				if !sleepUntil(t.stop, backoff) {
+					return
+				}
+				backoff = nextBackoff(backoff, t.cfg.DialBackoffMax)
+				continue
+			}
+			if !t.track(c) {
+				return
+			}
+			t.ins.dials.Inc()
+			conn, bw = c, bufio.NewWriterSize(c, connBufSize)
+			if t.cfg.Codec == Version2 {
+				// Announce v2 for this connection; the encoder state
+				// (clock delta, intern table) starts fresh on both ends.
+				enc = NewV2Encoder()
+				_, _ = bw.WriteString(v2Preamble)
+			}
+		}
+		var err error
+		frames, pending, err = t.encodeBatch(frames[:0], pending, enc)
+		if err == nil {
+			if len(frames) > 0 {
+				_, err = bw.Write(frames)
+			}
+			if err == nil {
+				err = bw.Flush()
+			}
+		}
+		if err != nil {
+			t.ins.connErrors.Inc()
+			dropConn()
+			// The pending batch is retried on the next connection; back
+			// off first so a peer that resets straight after accepting
+			// is still dialed at the backed-off cadence.
+			if !sleepUntil(t.stop, backoff) {
+				return
+			}
+			backoff = nextBackoff(backoff, t.cfg.DialBackoffMax)
+			continue
+		}
+		t.ins.sent.Add(int64(len(pending)))
+		t.ins.flushes.Inc()
+		t.ins.bytesSent.Add(int64(len(frames)))
+		t.ins.batchSize.Observe(int64(len(pending)))
+		pending = pending[:0]
+		backoff = t.cfg.DialBackoffMin
+		if cap(pending) > maxRetainedMsgs {
+			pending = nil
+		}
+		if cap(frames) > maxRetainedBytes {
+			frames = nil
 		}
 	}
+}
+
+// encodeBatch appends the frames for every message of batch to dst using
+// enc (nil = v1 codec). Unencodable messages (fields outside the wire
+// shape) are dropped from the batch — they could never be sent on any
+// connection — and the surviving batch is returned; an error return means
+// nothing was appended beyond the already-encoded prefix and the caller
+// must treat the connection as poisoned (cannot happen today: both codecs
+// only fail per message).
+//
+//gblint:hotpath
+func (t *Transport) encodeBatch(dst []byte, batch []tme.Message, enc *V2Encoder) ([]byte, []tme.Message, error) {
+	kept := batch[:0]
+	for _, m := range batch {
+		var b []byte
+		var err error
+		if enc != nil {
+			b, err = enc.AppendFrame(dst, m)
+		} else {
+			b, err = AppendFrame(dst, m)
+		}
+		if err != nil {
+			t.ins.dropped.Inc()
+			continue
+		}
+		dst = b
+		kept = append(kept, m)
+	}
+	return dst, kept, nil
 }
 
 // sleepUntil waits d or until stop closes; false means stop.
@@ -375,11 +505,16 @@ func nextBackoff(cur, max time.Duration) time.Duration {
 	return cur
 }
 
-// msgQueue is an unbounded FIFO with blocking get — the wire-side twin of
-// the runtime's mailbox (which this package cannot import).
+// msgQueue is an unbounded FIFO with blocking drain — the wire-side twin
+// of the runtime's mailbox (which this package cannot import). Storage is
+// a head-indexed ring, so steady-state put/get/drain never shift elements
+// and never allocate: capacity grows only when the queue outpaces its
+// consumer and is reused forever after.
 type msgQueue struct {
 	mu     sync.Mutex
-	items  []tme.Message
+	buf    []tme.Message // ring storage; len(buf) is the capacity
+	head   int           // index of the oldest item
+	n      int           // items queued
 	signal chan struct{} // capacity 1: "items may be non-empty"
 }
 
@@ -387,9 +522,14 @@ func newMsgQueue() *msgQueue {
 	return &msgQueue{signal: make(chan struct{}, 1)}
 }
 
+//gblint:hotpath
 func (q *msgQueue) put(m tme.Message) {
 	q.mu.Lock()
-	q.items = append(q.items, m)
+	if q.n == len(q.buf) {
+		q.grow()
+	}
+	q.buf[(q.head+q.n)%len(q.buf)] = m
+	q.n++
 	q.mu.Unlock()
 	select {
 	case q.signal <- struct{}{}:
@@ -397,14 +537,30 @@ func (q *msgQueue) put(m tme.Message) {
 	}
 }
 
-// get blocks until an item is available or stop closes.
+// grow doubles the ring (called with q.mu held, queue full).
+func (q *msgQueue) grow() {
+	c := len(q.buf) * 2
+	if c < 16 {
+		c = 16
+	}
+	buf := make([]tme.Message, c)
+	for i := 0; i < q.n; i++ {
+		buf[i] = q.buf[(q.head+i)%len(q.buf)]
+	}
+	q.buf, q.head = buf, 0
+}
+
+// get pops one message, blocking until an item is available or stop
+// closes. Pops are O(1): the head index advances, nothing shifts.
+//
+//gblint:hotpath
 func (q *msgQueue) get(stop <-chan struct{}) (tme.Message, bool) {
 	for {
 		q.mu.Lock()
-		if len(q.items) > 0 {
-			m := q.items[0]
-			copy(q.items, q.items[1:])
-			q.items = q.items[:len(q.items)-1]
+		if q.n > 0 {
+			m := q.buf[q.head]
+			q.head = (q.head + 1) % len(q.buf)
+			q.n--
 			q.mu.Unlock()
 			return m, true
 		}
@@ -417,8 +573,44 @@ func (q *msgQueue) get(stop <-chan struct{}) (tme.Message, bool) {
 	}
 }
 
+// drain appends every queued message to dst in FIFO order under one lock
+// acquisition, blocking until at least one is available or stop closes.
+//
+//gblint:hotpath
+func (q *msgQueue) drain(stop <-chan struct{}, dst []tme.Message) ([]tme.Message, bool) {
+	for {
+		q.mu.Lock()
+		if q.n > 0 {
+			first := q.head + q.n
+			if first > len(q.buf) {
+				first = len(q.buf)
+			}
+			dst = append(dst, q.buf[q.head:first]...)
+			if wrapped := q.head + q.n - len(q.buf); wrapped > 0 {
+				dst = append(dst, q.buf[:wrapped]...)
+			}
+			q.head, q.n = 0, 0
+			q.mu.Unlock()
+			return dst, true
+		}
+		q.mu.Unlock()
+		select {
+		case <-q.signal:
+		case <-stop:
+			return dst, false
+		}
+	}
+}
+
 func (q *msgQueue) len() int {
 	q.mu.Lock()
 	defer q.mu.Unlock()
-	return len(q.items)
+	return q.n
+}
+
+// capacity reports the ring's current storage size (for reuse tests).
+func (q *msgQueue) capacity() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.buf)
 }
