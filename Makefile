@@ -11,7 +11,8 @@ build:
 	$(GO) build ./...
 
 # Static analysis: go vet plus the repo's own analyzer (layering,
-# determinism, hot-path allocation, and obs discipline — see
+# determinism, hot-path allocation, obs discipline, guardedby/atomic
+# discipline, kind-switch exhaustiveness, and spawn lifecycle — see
 # DESIGN.md "Static guarantees").
 lint:
 	$(GO) vet ./...
@@ -56,7 +57,7 @@ bench-baseline:
 # the CI bench-gate: ns/op is environment-sensitive across machines, so
 # allocs/op and bytes/op are the stable signals to watch in the diff table.
 bench-compare:
-	$(GO) run ./cmd/bench -out BENCH_PR7.json -compare BENCH_PR6.json -tolerance 0.15 -fail-tolerance 1.0
+	$(GO) run ./cmd/bench -out BENCH_PR8.json -compare BENCH_PR7.json -tolerance 0.15 -fail-tolerance 1.0
 
 # Regenerate every experiment table of EXPERIMENTS.md (full scale ≈ 30 min).
 experiments:
@@ -80,6 +81,7 @@ fuzz:
 	$(GO) test -run=Fuzz -fuzz=FuzzParseSystem -fuzztime=15s ./cmd/gbcheck/
 	$(GO) test -run=Fuzz -fuzz=FuzzEventHeap -fuzztime=15s ./internal/engine/
 	$(GO) test -run=Fuzz -fuzz=FuzzDecodeFrame -fuzztime=15s ./internal/wire/
+	$(GO) test -run=Fuzz -fuzz=FuzzLoadSchedule -fuzztime=15s ./internal/workload/
 
 clean:
 	$(GO) clean ./...

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"strings"
 	"testing"
 )
@@ -64,5 +65,45 @@ func TestBadPattern(t *testing.T) {
 	}
 	if !strings.Contains(errOut.String(), "gblint:") {
 		t.Errorf("missing error on stderr: %s", errOut.String())
+	}
+}
+
+// TestJSONClean checks -json on a clean package: exit 0 and an empty JSON
+// array (never null), so CI can archive the output unconditionally.
+func TestJSONClean(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-json", "."}, &out, &errOut); code != 0 {
+		t.Fatalf("exit %d on clean package\nstdout: %s\nstderr: %s", code, out.String(), errOut.String())
+	}
+	var findings []jsonFinding
+	if err := json.Unmarshal(out.Bytes(), &findings); err != nil {
+		t.Fatalf("output is not a JSON array: %v\n%s", err, out.String())
+	}
+	if findings == nil || len(findings) != 0 {
+		t.Errorf("want empty (non-null) array, got %v", findings)
+	}
+}
+
+// TestJSONFindings checks -json over testdata/badmod: exit 1 and a parsed
+// finding carrying pass, file, line, and message.
+func TestJSONFindings(t *testing.T) {
+	t.Chdir("testdata/badmod")
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-json", "./..."}, &out, &errOut); code != 1 {
+		t.Fatalf("exit %d, want 1\nstdout: %s\nstderr: %s", code, out.String(), errOut.String())
+	}
+	var findings []jsonFinding
+	if err := json.Unmarshal(out.Bytes(), &findings); err != nil {
+		t.Fatalf("output is not a JSON array: %v\n%s", err, out.String())
+	}
+	if len(findings) == 0 {
+		t.Fatal("no findings decoded")
+	}
+	f := findings[0]
+	if f.Pass != "determinism" || !strings.Contains(f.Msg, "time.Now") {
+		t.Errorf("finding = %+v, want a determinism/time.Now finding", f)
+	}
+	if !strings.Contains(f.File, "internal/sim/sim.go") || f.Line == 0 {
+		t.Errorf("finding does not locate the offending line: %+v", f)
 	}
 }

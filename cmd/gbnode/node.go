@@ -24,7 +24,7 @@ type NodeConfig struct {
 	Algo        harness.Algo
 	Delta       time.Duration // negative = no W' wrapper
 	WrapperTick time.Duration
-	V2          bool // send with the compact v2 wire codec (receivers auto-detect)
+	V2          bool   // send with the compact v2 wire codec (receivers auto-detect)
 	HTTP        string // "" disables the debug HTTP server
 	Think, Eat  time.Duration
 	Duration    time.Duration
@@ -191,8 +191,10 @@ func (nd *Node) clientLoop() {
 			nd.cluster.Release(id)
 			continue
 		case tme.Thinking:
+		case tme.Hungry:
+			continue // a request is already in flight
 		default:
-			continue
+			continue // invalid phase (corruption): skip the cycle
 		}
 		nd.cluster.Request(id)
 		for nd.cluster.Phase(id) != tme.Eating {

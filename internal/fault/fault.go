@@ -45,7 +45,10 @@ type tmeSurface interface {
 // Kind enumerates the fault classes of the paper's fault model.
 type Kind int
 
-// Fault classes.
+// Fault classes. Dispatch over them (Apply, the mix normalizer) must be
+// total: a class added here and missed there would silently never fire.
+//
+//gblint:kindset fault-kind
 const (
 	// MessageLoss drops one in-flight message.
 	MessageLoss Kind = iota + 1

@@ -344,8 +344,10 @@ func RunLive(cfg LiveConfig) (LiveResult, error) {
 					clusters[i].Release(i)
 					continue
 				case tme.Thinking:
+				case tme.Hungry:
+					continue // a request is already in flight
 				default:
-					continue
+					continue // invalid phase (corruption): skip the cycle
 				}
 				reqAt[i].Store(liveNowNS())
 				atomic.AddInt64(&requests, 1)
@@ -415,13 +417,13 @@ func RunLive(cfg LiveConfig) (LiveResult, error) {
 					return
 				}
 				switch e.Verb {
-				case "partition":
+				case wire.VerbPartition:
 					chaos.Isolate(e.Group...)
 					atomic.AddInt64(&extraFaults, 1)
-				case "partition-oneway":
+				case wire.VerbPartitionOneWay:
 					chaos.IsolateOneWay(e.Group...)
 					atomic.AddInt64(&extraFaults, 1)
-				case "heal":
+				case wire.VerbHeal:
 					chaos.Heal()
 					atomic.AddInt64(&extraFaults, 1)
 				default:

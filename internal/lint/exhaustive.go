@@ -1,0 +1,224 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// exhaustivePass makes kind-dispatch switches total. A const block marked
+//
+//	//gblint:kindset <name>
+//
+// declares a kind set: every constant in the block is a member. Any switch
+// statement (with a tag) whose case arms reference at least one member of
+// a set is then dispatching over that set and must either list every
+// member in its case arms or carry a default that fails loudly (a panic —
+// or log.Fatal/Panic — inside the default body). A quiet default is
+// exactly the bug this pass exists for: adding a kind to the const block
+// silently falls through at every dispatch site instead of failing there.
+// A default handling non-member values (forged bytes off the wire, an
+// escape-hatch kind like the engine's KindFunc) is fine once all declared
+// members are covered.
+//
+// Member and case-arm resolution is purely syntactic — unqualified
+// constants key as "this package", qualified ones through the file's
+// import table — so findings are identical with or without export data.
+// Sets and switches are collected per package and judged in Finish, so a
+// switch may live in a different package than its kind set.
+type exhaustivePass struct {
+	sets     map[string]*kindset
+	setOrder []string
+	switches []switchRec
+}
+
+type kindset struct {
+	name    string
+	pos     token.Pos
+	keys    map[string]bool // canonical "pkgpath.Const" member keys
+	display []string        // member names in declaration order
+}
+
+type switchRec struct {
+	pos         token.Pos
+	refs        map[string]bool // resolved case-arm keys
+	loudDefault bool
+}
+
+func newExhaustivePass() *exhaustivePass {
+	return &exhaustivePass{sets: map[string]*kindset{}}
+}
+
+func (*exhaustivePass) Name() string { return PassExhaustive }
+
+func (p *exhaustivePass) Check(cfg *Config, pkg *Package, report Reporter) {
+	for _, f := range pkg.Files {
+		imports := fileImports(f)
+		for _, decl := range f.Decls {
+			if gd, ok := decl.(*ast.GenDecl); ok && gd.Tok == token.CONST {
+				p.collectKindset(pkg, gd, report)
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			sw, ok := n.(*ast.SwitchStmt)
+			if !ok || sw.Tag == nil {
+				return true
+			}
+			p.collectSwitch(pkg, imports, sw)
+			return true
+		})
+	}
+}
+
+func (p *exhaustivePass) collectKindset(pkg *Package, gd *ast.GenDecl, report Reporter) {
+	name := ""
+	var dirPos token.Pos
+	if gd.Doc != nil {
+		for _, c := range gd.Doc.List {
+			if rest, ok := directive(c.Text, "kindset"); ok {
+				name, dirPos = firstToken(rest), c.Pos()
+			}
+		}
+	}
+	if name == "" {
+		if dirPos != token.NoPos {
+			report(dirPos, "kindset directive needs a set name")
+		}
+		return
+	}
+	if _, dup := p.sets[name]; dup {
+		report(dirPos, "kindset %q is declared on more than one const block: each set has one owning block", name)
+		return
+	}
+	set := &kindset{name: name, pos: dirPos, keys: map[string]bool{}}
+	for _, spec := range gd.Specs {
+		vs, ok := spec.(*ast.ValueSpec)
+		if !ok {
+			continue
+		}
+		for _, id := range vs.Names {
+			if id.Name == "_" {
+				continue
+			}
+			set.keys[pkg.Path+"."+id.Name] = true
+			set.display = append(set.display, id.Name)
+		}
+	}
+	if len(set.keys) == 0 {
+		report(dirPos, "kindset %q has no members", name)
+		return
+	}
+	p.sets[name] = set
+	p.setOrder = append(p.setOrder, name)
+}
+
+func (p *exhaustivePass) collectSwitch(pkg *Package, imports map[string]string, sw *ast.SwitchStmt) {
+	rec := switchRec{pos: sw.Pos(), refs: map[string]bool{}}
+	for _, stmt := range sw.Body.List {
+		cc, ok := stmt.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		if cc.List == nil {
+			rec.loudDefault = loudBody(cc.Body)
+			continue
+		}
+		for _, e := range cc.List {
+			if key, ok := kindRefKey(pkg, imports, e); ok {
+				rec.refs[key] = true
+			}
+		}
+	}
+	if len(rec.refs) > 0 {
+		p.switches = append(p.switches, rec)
+	}
+}
+
+// kindRefKey resolves a case expression to a canonical constant key:
+// unqualified idents belong to the linting package, qualified selectors to
+// the imported package. Literals and compound expressions do not resolve.
+func kindRefKey(pkg *Package, imports map[string]string, e ast.Expr) (string, bool) {
+	switch e := e.(type) {
+	case *ast.Ident:
+		switch e.Name {
+		case "nil", "true", "false":
+			return "", false
+		}
+		return pkg.Path + "." + e.Name, true
+	case *ast.SelectorExpr:
+		if path, ok := selectorPackage(pkg, imports, e); ok {
+			return path + "." + e.Sel.Name, true
+		}
+	case *ast.ParenExpr:
+		return kindRefKey(pkg, imports, e.X)
+	}
+	return "", false
+}
+
+// loudFuncs are the callee names that make a default arm fail loudly.
+var loudFuncs = map[string]bool{
+	"panic": true, "Panic": true, "Panicf": true, "Panicln": true,
+	"Fatal": true, "Fatalf": true, "Fatalln": true,
+}
+
+func loudBody(stmts []ast.Stmt) bool {
+	loud := false
+	for _, s := range stmts {
+		ast.Inspect(s, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			switch fun := call.Fun.(type) {
+			case *ast.Ident:
+				loud = loud || loudFuncs[fun.Name]
+			case *ast.SelectorExpr:
+				loud = loud || loudFuncs[fun.Sel.Name]
+			}
+			return !loud
+		})
+		if loud {
+			break
+		}
+	}
+	return loud
+}
+
+// Finish matches every collected switch against every kind set it
+// references and reports the missing members.
+func (p *exhaustivePass) Finish(cfg *Config, report Reporter) {
+	for _, sw := range p.switches {
+		for _, name := range p.setOrder {
+			set := p.sets[name]
+			shared := false
+			for key := range sw.refs {
+				if set.keys[key] {
+					shared = true
+					break
+				}
+			}
+			if !shared {
+				continue
+			}
+			var missing []string
+			for _, display := range set.display {
+				covered := false
+				for key := range sw.refs {
+					if set.keys[key] && strings.HasSuffix(key, "."+display) {
+						covered = true
+						break
+					}
+				}
+				if !covered {
+					missing = append(missing, display)
+				}
+			}
+			if len(missing) > 0 && !sw.loudDefault {
+				sort.Strings(missing)
+				report(sw.pos, "switch dispatches over kindset %q but misses %s: add the missing case arms or a default that panics, so a new kind cannot silently fall through",
+					set.name, strings.Join(missing, ", "))
+			}
+		}
+	}
+}

@@ -1,0 +1,565 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// guardedPass enforces the concurrency-access discipline the runtime, wire,
+// and obs packages rely on:
+//
+//  1. Guarded fields. A struct field annotated //gblint:guardedby <mu>
+//     (doc or trailing comment on the field; <mu> names a sibling mutex
+//     field) may only be read or written while that mutex is held on the
+//     same base expression. Lock state is tracked lexically per function
+//     body: the latest base.mu.Lock/RLock/Unlock/RUnlock call before the
+//     access decides (deferred unlocks are ignored — they release at
+//     return). A function whose callers hold the lock declares the
+//     precondition with //gblint:guardedby <mu> in its doc comment, which
+//     covers receiver-based accesses throughout its body. Writes under
+//     RLock are their own finding when the guard is an RWMutex.
+//
+//  2. Atomic fields. A field declared with a sync/atomic type (atomic.Int64,
+//     atomic.Pointer[T], ...) may only be used as the receiver of its atomic
+//     methods; a field ever passed as &x.f to a sync/atomic package function
+//     may only be accessed that way. Both rules exempt constructors —
+//     functions whose results include the owning struct type — where the
+//     value is still unshared. Everything else is the mixed atomic/plain
+//     access bug class: one racing plain read invalidates every atomic site.
+//
+// Function literals are analyzed as their own lock scopes (a closure runs
+// at an unknown time, so it cannot inherit the spawner's lock state).
+// Analysis is per package and object-resolution based: accesses that do
+// not resolve to a known field are skipped, never guessed, so findings
+// stay identical when export data is missing.
+type guardedPass struct{}
+
+func newGuardedPass() guardedPass { return guardedPass{} }
+
+func (guardedPass) Name() string { return PassGuardedBy }
+
+// guardInfo is the discipline attached to one struct field.
+type guardInfo struct {
+	owner string // declaring struct type name
+	field string
+	mu    string // sibling mutex field name ("" when only atomic-typed)
+	rw    bool   // the guard is an RWMutex
+}
+
+// guardState is the per-package collection result.
+type guardState struct {
+	guards    map[types.Object]*guardInfo // //gblint:guardedby fields
+	atomics   map[types.Object]*guardInfo // fields with atomic.* declared types
+	viaFunc   map[types.Object]bool       // fields passed as &x.f to sync/atomic funcs
+	allFields map[types.Object]string     // every named struct field -> owner type
+	pre       map[*ast.FuncDecl][]string  // function-level lock preconditions
+	ctors     map[*ast.FuncDecl]map[string]bool
+}
+
+func (guardedPass) Check(cfg *Config, pkg *Package, report Reporter) {
+	st := collectGuards(pkg, report)
+	if len(st.guards) == 0 && len(st.atomics) == 0 && len(st.viaFunc) == 0 {
+		return
+	}
+	for _, f := range pkg.Files {
+		imports := fileImports(f)
+		parents := parentMap(f)
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkGuardFunc(pkg, imports, fd, st, parents, report)
+		}
+	}
+}
+
+// collectGuards gathers the package's field annotations, atomic-typed and
+// atomic-accessed fields, constructors, and function preconditions.
+func collectGuards(pkg *Package, report Reporter) *guardState {
+	st := &guardState{
+		guards:    map[types.Object]*guardInfo{},
+		atomics:   map[types.Object]*guardInfo{},
+		viaFunc:   map[types.Object]bool{},
+		allFields: map[types.Object]string{},
+		pre:       map[*ast.FuncDecl][]string{},
+		ctors:     map[*ast.FuncDecl]map[string]bool{},
+	}
+	for _, f := range pkg.Files {
+		imports := fileImports(f)
+		for _, decl := range f.Decls {
+			switch d := decl.(type) {
+			case *ast.GenDecl:
+				if d.Tok != token.TYPE {
+					continue
+				}
+				for _, spec := range d.Specs {
+					ts, ok := spec.(*ast.TypeSpec)
+					if !ok {
+						continue
+					}
+					if s, ok := ts.Type.(*ast.StructType); ok {
+						collectStructGuards(pkg, imports, ts.Name.Name, s, st, report)
+					}
+				}
+			case *ast.FuncDecl:
+				if d.Doc != nil {
+					for _, c := range d.Doc.List {
+						rest, ok := directive(c.Text, "guardedby")
+						if !ok {
+							continue
+						}
+						mu := firstToken(rest)
+						if mu == "" {
+							report(c.Pos(), "guardedby directive needs a mutex field name")
+							continue
+						}
+						st.pre[d] = append(st.pre[d], mu)
+					}
+				}
+				if names := resultTypeNames(d); names != nil {
+					st.ctors[d] = names
+				}
+			}
+		}
+		// Fields reached through sync/atomic package functions.
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			if path, ok := selectorPackage(pkg, imports, sel); !ok || path != "sync/atomic" {
+				return true
+			}
+			for _, arg := range call.Args {
+				un, ok := arg.(*ast.UnaryExpr)
+				if !ok || un.Op != token.AND {
+					continue
+				}
+				if fs, ok := un.X.(*ast.SelectorExpr); ok {
+					if obj := fieldObjOf(pkg, fs); obj != nil {
+						st.viaFunc[obj] = true
+					}
+				}
+			}
+			return true
+		})
+	}
+	return st
+}
+
+func collectStructGuards(pkg *Package, imports map[string]string, owner string, s *ast.StructType, st *guardState, report Reporter) {
+	for _, fld := range s.Fields.List {
+		mu := ""
+		var dirPos token.Pos
+		for _, cg := range []*ast.CommentGroup{fld.Doc, fld.Comment} {
+			if cg == nil {
+				continue
+			}
+			for _, c := range cg.List {
+				if rest, ok := directive(c.Text, "guardedby"); ok {
+					mu, dirPos = firstToken(rest), c.Pos()
+					if mu == "" {
+						report(dirPos, "guardedby directive needs a mutex field name")
+					}
+				}
+			}
+		}
+		atomicTyped := isAtomicFieldType(fld.Type, imports)
+		var rw bool
+		if mu != "" {
+			sib := structField(s, mu)
+			if sib == nil {
+				report(dirPos, "guardedby names %q but struct %s has no such field", mu, owner)
+				mu = ""
+			} else {
+				rw = isRWMutexType(sib.Type, imports)
+			}
+		}
+		for _, name := range fld.Names {
+			if name.Name == "_" {
+				continue
+			}
+			obj := pkg.Info.Defs[name]
+			if obj == nil {
+				continue
+			}
+			st.allFields[obj] = owner
+			gi := &guardInfo{owner: owner, field: name.Name, mu: mu, rw: rw}
+			if mu != "" {
+				st.guards[obj] = gi
+			}
+			if atomicTyped {
+				st.atomics[obj] = gi
+			}
+		}
+	}
+}
+
+// checkGuardFunc judges every guarded/atomic field access in fd.
+func checkGuardFunc(pkg *Package, imports map[string]string, fd *ast.FuncDecl, st *guardState, parents map[ast.Node]ast.Node, report Reporter) {
+	events := collectLockEvents(fd, parents)
+	recv := ""
+	if fd.Recv != nil && len(fd.Recv.List) == 1 && len(fd.Recv.List[0].Names) == 1 {
+		recv = fd.Recv.List[0].Names[0].Name
+	}
+	pre := map[string]bool{}
+	for _, mu := range st.pre[fd] {
+		pre[mu] = true
+	}
+	ctor := st.ctors[fd]
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		obj := fieldObjOf(pkg, sel)
+		if obj == nil {
+			return true
+		}
+		gi, guarded := st.guards[obj]
+		ai, atomicTyped := st.atomics[obj]
+		viaFunc := st.viaFunc[obj]
+		if !guarded && !atomicTyped && !viaFunc {
+			return true
+		}
+		scope := scopeOf(sel, parents, fd)
+		base := exprString(sel.X)
+		inCtor := func(owner string) bool { return owner != "" && ctor != nil && ctor[owner] }
+		if guarded && !inCtor(gi.owner) {
+			held := heldNone
+			if pre[gi.mu] && scope == ast.Node(fd) && base == recv && recv != "" {
+				held = heldLock
+			} else {
+				held = lockStateAt(events[scope], base+"."+gi.mu, sel.Pos())
+			}
+			write := accessIsWrite(sel, parents)
+			switch {
+			case held == heldNone:
+				report(sel.Pos(), "field %s.%s is guarded by %q and accessed without holding it: lock %s.%s around the access, or mark the enclosing function //gblint:guardedby %s if its callers hold the lock",
+					gi.owner, gi.field, gi.mu, base, gi.mu, gi.mu)
+			case held == heldRLock && write:
+				report(sel.Pos(), "field %s.%s is written under RLock: writes to a guarded field need the exclusive Lock", gi.owner, gi.field)
+			}
+		}
+		if atomicTyped && !inCtor(ai.owner) && !isAtomicMethodUse(sel, parents) {
+			report(sel.Pos(), "field %s.%s has an atomic type and must only be used through its atomic methods outside the constructor (plain access races with the atomic sites)",
+				ai.owner, ai.field)
+		}
+		if viaFunc && !atomicTyped && !inCtor(st.allFields[obj]) && !isAtomicCallArg(pkg, imports, sel, parents) {
+			report(sel.Pos(), "field %s is accessed via sync/atomic elsewhere and must not be read or written plainly outside the constructor (mixed atomic/plain access races)",
+				exprString(sel))
+		}
+		return true
+	})
+}
+
+// --- lock-flow tracking ---
+
+const (
+	heldNone = iota
+	heldRLock
+	heldLock
+)
+
+type lockEvent struct {
+	key string // rendered "base.mu"
+	op  int    // heldLock, heldRLock, or heldNone for unlocks
+	pos token.Pos
+}
+
+// collectLockEvents gathers base.mu.Lock/RLock/Unlock/RUnlock calls per
+// lock scope (the FuncDecl body or each FuncLit body), in source order.
+// Deferred unlocks are skipped: they hold the lock to scope exit.
+func collectLockEvents(fd *ast.FuncDecl, parents map[ast.Node]ast.Node) map[ast.Node][]lockEvent {
+	out := map[ast.Node][]lockEvent{}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		var op int
+		switch sel.Sel.Name {
+		case "Lock":
+			op = heldLock
+		case "RLock":
+			op = heldRLock
+		case "Unlock", "RUnlock":
+			op = heldNone
+		default:
+			return true
+		}
+		if isDeferred(call, parents) {
+			return true
+		}
+		scope := scopeOf(call, parents, fd)
+		out[scope] = append(out[scope], lockEvent{key: exprString(sel.X), op: op, pos: call.Pos()})
+		return true
+	})
+	return out
+}
+
+// lockStateAt returns the lock state of key at pos: the op of the latest
+// earlier event, or heldNone without one.
+func lockStateAt(events []lockEvent, key string, pos token.Pos) int {
+	state := heldNone
+	for _, e := range events {
+		if e.key == key && e.pos < pos {
+			state = e.op
+		}
+	}
+	return state
+}
+
+// scopeOf returns the nearest enclosing function-like node: a FuncLit, or
+// fd itself.
+func scopeOf(n ast.Node, parents map[ast.Node]ast.Node, fd *ast.FuncDecl) ast.Node {
+	for p := parents[n]; p != nil; p = parents[p] {
+		if lit, ok := p.(*ast.FuncLit); ok {
+			return lit
+		}
+	}
+	return fd
+}
+
+// isDeferred reports whether call sits directly under a defer statement
+// within its own lock scope.
+func isDeferred(call ast.Node, parents map[ast.Node]ast.Node) bool {
+	for p := parents[call]; p != nil; p = parents[p] {
+		switch p.(type) {
+		case *ast.DeferStmt:
+			return true
+		case *ast.FuncLit, *ast.FuncDecl:
+			return false
+		}
+	}
+	return false
+}
+
+// accessIsWrite reports whether sel is on the writing side: an assignment
+// target (including through index/star chains), an inc/dec operand, or an
+// address-taken operand.
+func accessIsWrite(sel ast.Expr, parents map[ast.Node]ast.Node) bool {
+	n := ast.Node(sel)
+	for {
+		parent := parents[n]
+		switch p := parent.(type) {
+		case *ast.ParenExpr:
+			n = p
+			continue
+		case *ast.IndexExpr:
+			if p.X == n {
+				n = p
+				continue
+			}
+		case *ast.StarExpr:
+			n = p
+			continue
+		case *ast.AssignStmt:
+			for _, lhs := range p.Lhs {
+				if lhs == n {
+					return true
+				}
+			}
+		case *ast.IncDecStmt:
+			return p.X == n
+		case *ast.UnaryExpr:
+			return p.Op == token.AND
+		}
+		return false
+	}
+}
+
+// --- atomic discipline helpers ---
+
+// atomicMethods are the methods of the sync/atomic value types.
+var atomicMethods = map[string]bool{
+	"Load": true, "Store": true, "Add": true, "Swap": true,
+	"CompareAndSwap": true, "Or": true, "And": true,
+}
+
+// isAtomicMethodUse reports whether sel (an atomic-typed field access) is
+// the receiver of an atomic method call: x.f.Load(), x.f.Store(v), ...
+func isAtomicMethodUse(sel ast.Expr, parents map[ast.Node]ast.Node) bool {
+	outer, ok := parents[sel].(*ast.SelectorExpr)
+	if !ok || outer.X != ast.Node(sel) || !atomicMethods[outer.Sel.Name] {
+		return false
+	}
+	call, ok := parents[outer].(*ast.CallExpr)
+	return ok && call.Fun == ast.Node(outer)
+}
+
+// isAtomicCallArg reports whether sel appears as &sel in the arguments of
+// a sync/atomic package function call.
+func isAtomicCallArg(pkg *Package, imports map[string]string, sel ast.Expr, parents map[ast.Node]ast.Node) bool {
+	un, ok := parents[sel].(*ast.UnaryExpr)
+	if !ok || un.Op != token.AND {
+		return false
+	}
+	call, ok := parents[un].(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	fun, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	path, ok := selectorPackage(pkg, imports, fun)
+	return ok && path == "sync/atomic"
+}
+
+// fieldObjOf resolves a selector to the struct field it reads, or nil when
+// it is not a (resolvable) field selection.
+func fieldObjOf(pkg *Package, sel *ast.SelectorExpr) types.Object {
+	if s, ok := pkg.Info.Selections[sel]; ok && s.Kind() == types.FieldVal {
+		return s.Obj()
+	}
+	if v, ok := pkg.Info.Uses[sel.Sel].(*types.Var); ok && v.IsField() {
+		return v
+	}
+	return nil
+}
+
+// --- syntax helpers ---
+
+// parentMap indexes every node's parent under root.
+func parentMap(root ast.Node) map[ast.Node]ast.Node {
+	parents := map[ast.Node]ast.Node{}
+	var stack []ast.Node
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		if len(stack) > 0 {
+			parents[n] = stack[len(stack)-1]
+		}
+		stack = append(stack, n)
+		return true
+	})
+	return parents
+}
+
+// exprString renders the lock-relevant shape of an expression; two
+// accesses guard-match when their renderings are equal.
+func exprString(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return exprString(e.X) + "." + e.Sel.Name
+	case *ast.IndexExpr:
+		return exprString(e.X) + "[" + exprString(e.Index) + "]"
+	case *ast.ParenExpr:
+		return exprString(e.X)
+	case *ast.StarExpr:
+		return exprString(e.X)
+	case *ast.UnaryExpr:
+		return exprString(e.X)
+	case *ast.CallExpr:
+		return exprString(e.Fun) + "()"
+	case *ast.BasicLit:
+		return e.Value
+	}
+	return "?"
+}
+
+// firstToken returns the first whitespace-delimited token of s.
+func firstToken(s string) string {
+	if fields := strings.Fields(s); len(fields) > 0 {
+		return fields[0]
+	}
+	return ""
+}
+
+// structField finds the named field in s.
+func structField(s *ast.StructType, name string) *ast.Field {
+	for _, fld := range s.Fields.List {
+		for _, n := range fld.Names {
+			if n.Name == name {
+				return fld
+			}
+		}
+	}
+	return nil
+}
+
+// isAtomicFieldType reports whether a field's declared type is a
+// sync/atomic value type (atomic.Int64, atomic.Pointer[T], ...), resolved
+// through the file's import table so detection works without export data.
+func isAtomicFieldType(t ast.Expr, imports map[string]string) bool {
+	for {
+		switch x := t.(type) {
+		case *ast.StarExpr:
+			t = x.X
+		case *ast.ParenExpr:
+			t = x.X
+		case *ast.IndexExpr:
+			t = x.X
+		case *ast.IndexListExpr:
+			t = x.X
+		default:
+			sel, ok := t.(*ast.SelectorExpr)
+			if !ok {
+				return false
+			}
+			id, ok := sel.X.(*ast.Ident)
+			return ok && imports[id.Name] == "sync/atomic"
+		}
+	}
+}
+
+// isRWMutexType reports whether a field's declared type is sync.RWMutex.
+func isRWMutexType(t ast.Expr, imports map[string]string) bool {
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	sel, ok := t.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "RWMutex" {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	return ok && imports[id.Name] == "sync"
+}
+
+// resultTypeNames collects the intra-package named types in fd's results —
+// the types fd constructs, whose fields it may initialize unshared.
+func resultTypeNames(fd *ast.FuncDecl) map[string]bool {
+	if fd.Type.Results == nil {
+		return nil
+	}
+	var out map[string]bool
+	for _, r := range fd.Type.Results.List {
+		t := r.Type
+	unwrap:
+		for {
+			switch x := t.(type) {
+			case *ast.StarExpr:
+				t = x.X
+			case *ast.ParenExpr:
+				t = x.X
+			case *ast.IndexExpr:
+				t = x.X
+			default:
+				break unwrap
+			}
+		}
+		if id, ok := t.(*ast.Ident); ok {
+			if out == nil {
+				out = map[string]bool{}
+			}
+			out[id.Name] = true
+		}
+	}
+	return out
+}

@@ -1,7 +1,7 @@
 // Package lint is gblint's analysis engine: a stdlib-only static analyzer
 // (go/ast, go/parser, go/types) that makes the repo's graybox and
 // determinism conventions hold by construction instead of by code review.
-// Four passes run over every package:
+// Seven passes run over every package:
 //
 //   - layering: an import-DAG check encoding the graybox rule — wrappers
 //     and specs are designed from local everywhere specifications, never
@@ -24,6 +24,23 @@
 //     promise nil-receiver no-op behavior must guard every exported
 //     method, and every metric name is registered at exactly one site.
 //
+//   - guardedby: concurrency discipline — struct fields annotated
+//     //gblint:guardedby <mu> may only be touched while that sibling
+//     mutex is held (lock/unlock flow tracked lexically per function
+//     body), and fields with atomic.* types or fields reached through
+//     sync/atomic calls must never also be accessed plainly outside
+//     their constructor (the mixed-access bug class).
+//
+//   - exhaustive: switches dispatching over a declared kind set (a const
+//     block marked //gblint:kindset <name>) must cover every member or
+//     carry a default that fails loudly, so a newly added kind can never
+//     silently fall through.
+//
+//   - spawn: every `go` statement in Config.SpawnScope must be tied to a
+//     visible stop path (WaitGroup Add before the spawn, or a stop/done
+//     channel or ctx.Done() reachable from the spawned body) or carry a
+//     reasoned //gblint:spawn directive — goroutine-leak hygiene.
+//
 // Findings are suppressed line-by-line with //gblint:ignore <passes>; see
 // the directive helpers below for the exact grammar.
 package lint
@@ -42,6 +59,9 @@ const (
 	PassDeterminism = "determinism"
 	PassHotpath     = "hotpath"
 	PassObs         = "obs"
+	PassGuardedBy   = "guardedby"
+	PassExhaustive  = "exhaustive"
+	PassSpawn       = "spawn"
 )
 
 // Diagnostic is one finding.
@@ -84,7 +104,7 @@ const DenyModule = "MODULE"
 type Config struct {
 	// Module is the module path; imports with this prefix are in-module.
 	Module string
-	// Passes selects which passes run (nil = all four).
+	// Passes selects which passes run (nil = all seven).
 	Passes []string
 
 	// Layering is the import-DAG rule table.
@@ -119,6 +139,14 @@ type Config struct {
 	// types and the Registry whose Counter/Gauge/Histogram methods
 	// register metrics.
 	ObsPackage string
+
+	// SpawnScope lists the package patterns under the spawn-lifecycle
+	// contract: every `go` statement there needs a visible stop path or a
+	// reasoned //gblint:spawn directive.
+	SpawnScope []string
+	// SpawnStopNames are the identifier substrings (lowercased) that mark
+	// a channel as a stop signal when the spawned body receives from it.
+	SpawnStopNames []string
 }
 
 // DefaultConfig returns the graybox repository's rule table.
@@ -188,6 +216,10 @@ func DefaultConfig() *Config {
 			}, Reason: "the wire send/recv chain is benchmarked allocation-free (bench_wire_throughput); the hotpath contract on it is load-bearing, not decorative"},
 		},
 		ObsPackage: "internal/obs",
+		SpawnScope: []string{
+			"internal/runtime", "internal/wire", "internal/harness", "cmd/...",
+		},
+		SpawnStopNames: []string{"stop", "done", "quit", "close"},
 	}
 }
 
@@ -243,7 +275,7 @@ type Runner struct {
 	ignores map[string]map[int][]string
 }
 
-// NewRunner returns a runner over cfg with the selected passes (all four
+// NewRunner returns a runner over cfg with the selected passes (all seven
 // when cfg.Passes is nil). All linted packages must share fset.
 func NewRunner(cfg *Config, fset *token.FileSet) *Runner {
 	all := []Pass{
@@ -251,6 +283,9 @@ func NewRunner(cfg *Config, fset *token.FileSet) *Runner {
 		determinismPass{},
 		newHotpathPass(),
 		newObsPass(),
+		newGuardedPass(),
+		newExhaustivePass(),
+		spawnPass{},
 	}
 	r := &Runner{cfg: cfg, fset: fset, ignores: map[string]map[int][]string{}}
 	for _, p := range all {
@@ -372,7 +407,8 @@ func (r *Runner) collectIgnores(pkg *Package) {
 
 func knownPass(p string) bool {
 	switch p {
-	case PassLayering, PassDeterminism, PassHotpath, PassObs:
+	case PassLayering, PassDeterminism, PassHotpath, PassObs,
+		PassGuardedBy, PassExhaustive, PassSpawn:
 		return true
 	}
 	return false

@@ -21,6 +21,11 @@ var fixtures = map[string]string{
 	fixtureModule + "/internal/sim":     "testdata/det",
 	fixtureModule + "/internal/hot":     "testdata/hot",
 	fixtureModule + "/internal/obs":     "testdata/obsd",
+	fixtureModule + "/internal/guarded": "testdata/guarded",
+	fixtureModule + "/internal/kinds":   "testdata/kinds",
+	// The spawn fixture's import path sits in both DetScope and
+	// SpawnScope, pinning multi-pass findings on one line.
+	fixtureModule + "/internal/runtime": "testdata/spawn",
 }
 
 // want is one expected diagnostic, declared in a fixture file as a
@@ -104,12 +109,12 @@ func fixtureConfig() *Config {
 	return cfg
 }
 
-// TestFixtures runs all four passes over the fixture packages with full
+// TestFixtures runs all seven passes over the fixture packages with full
 // type information and checks the findings against the want comments:
 // every seeded violation is caught, every //gblint:ignore twin and every
 // legitimate construct stays quiet.
 func TestFixtures(t *testing.T) {
-	exports, err := Exports(".", "time", "math/rand", "fmt")
+	exports, err := Exports(".", "time", "math/rand", "fmt", "sync", "sync/atomic")
 	if err != nil {
 		t.Fatalf("building export data: %v", err)
 	}
@@ -149,7 +154,7 @@ diags:
 // missing type info — like MapOpaque's range — skip instead of guessing,
 // so the findings must come out identical to the fully typed run.
 func TestSyntacticDegradation(t *testing.T) {
-	exports, err := Exports(".", "time", "math/rand", "fmt")
+	exports, err := Exports(".", "time", "math/rand", "fmt", "sync", "sync/atomic")
 	if err != nil {
 		t.Fatalf("building export data: %v", err)
 	}

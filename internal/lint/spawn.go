@@ -1,0 +1,189 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// spawnPass is goroutine-leak hygiene for the packages in
+// Config.SpawnScope (the concurrent runtime/wire/harness/cmd layers, where
+// goroutines outlive requests and a leak accumulates). Every `go`
+// statement there must show its stop path at or near the spawn site:
+//
+//   - a WaitGroup Add call earlier in the spawning function (the
+//     repo-wide wg.Add(1) / go / defer wg.Done() idiom), or
+//   - a spawned body — the function literal, or the body of a
+//     same-package named callee — that visibly terminates: it receives
+//     from a stop/done channel (Config.SpawnStopNames, which also covers
+//     <-ctx.Done()), ranges over a channel (the range ends when the
+//     producer closes it), or calls Done on a WaitGroup.
+//
+// A spawn whose lifecycle is managed some other way carries
+// //gblint:spawn <reason> on its line or the line above; the reason is
+// mandatory — a bare directive is its own finding, so suppressions stay
+// auditable. WaitGroup and channel identification uses type information
+// when present and falls back to identifier naming (wg, stop, done, ...),
+// so conventionally named code lints identically without export data.
+type spawnPass struct{}
+
+func (spawnPass) Name() string { return PassSpawn }
+
+func (spawnPass) Check(cfg *Config, pkg *Package, report Reporter) {
+	if !matchAny(cfg.SpawnScope, pkg.Path) {
+		return
+	}
+	// Named function/method bodies, for one-level callee lookup.
+	decls := map[string]*ast.FuncDecl{}
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				decls[fd.Name.Name] = fd
+			}
+		}
+	}
+	for _, f := range pkg.Files {
+		dirs := spawnDirectives(pkg, f)
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				gs, ok := n.(*ast.GoStmt)
+				if !ok {
+					return true
+				}
+				line := pkg.Fset.Position(gs.Pos()).Line
+				for _, l := range []int{line, line - 1} {
+					if reason, ok := dirs[l]; ok {
+						if reason == "" {
+							report(gs.Pos(), "//gblint:spawn needs a reason explaining how this goroutine stops")
+						}
+						return true
+					}
+				}
+				if wgAddBefore(pkg, fd, gs) {
+					return true
+				}
+				if body := spawnedBody(gs, decls); body != nil && hasStopPath(cfg, pkg, body) {
+					return true
+				}
+				report(gs.Pos(), "goroutine has no visible stop path: add a WaitGroup before the spawn, give the body a stop/done channel, or annotate //gblint:spawn <reason>")
+				return true
+			})
+		}
+	}
+}
+
+// spawnDirectives indexes //gblint:spawn directives of f by line.
+func spawnDirectives(pkg *Package, f *ast.File) map[int]string {
+	dirs := map[int]string{}
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			if reason, ok := directive(c.Text, "spawn"); ok {
+				dirs[pkg.Fset.Position(c.Pos()).Line] = reason
+			}
+		}
+	}
+	return dirs
+}
+
+// wgAddBefore reports whether fd calls Add on a WaitGroup before the
+// spawn — the Add/go/Done idiom, whose Wait is the stop path.
+func wgAddBefore(pkg *Package, fd *ast.FuncDecl, gs *ast.GoStmt) bool {
+	found := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() >= gs.Pos() {
+			return !found
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if ok && sel.Sel.Name == "Add" && isWaitGroupish(pkg, sel.X) {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// isWaitGroupish reports whether e is a sync.WaitGroup, by type when
+// resolvable and by naming convention otherwise.
+func isWaitGroupish(pkg *Package, e ast.Expr) bool {
+	if tv, ok := pkg.Info.Types[e]; ok && tv.Type != nil {
+		t := tv.Type
+		if ptr, ok := t.(*types.Pointer); ok {
+			t = ptr.Elem()
+		}
+		if named, ok := t.(*types.Named); ok {
+			if obj := named.Obj(); obj.Name() == "WaitGroup" && obj.Pkg() != nil && obj.Pkg().Path() == "sync" {
+				return true
+			}
+		}
+	}
+	s := strings.ToLower(exprString(e))
+	return strings.Contains(s, "wg") || strings.Contains(s, "waitgroup")
+}
+
+// spawnedBody resolves the spawned function's body: a literal's own body,
+// or the body of a same-package function/method named by the call.
+func spawnedBody(gs *ast.GoStmt, decls map[string]*ast.FuncDecl) *ast.BlockStmt {
+	switch fun := gs.Call.Fun.(type) {
+	case *ast.FuncLit:
+		return fun.Body
+	case *ast.Ident:
+		if fd := decls[fun.Name]; fd != nil {
+			return fd.Body
+		}
+	case *ast.SelectorExpr:
+		if fd := decls[fun.Sel.Name]; fd != nil {
+			return fd.Body
+		}
+	}
+	return nil
+}
+
+// hasStopPath reports whether body visibly terminates: a receive from a
+// stop-named channel (covering <-ctx.Done()), a range over a channel, or
+// a WaitGroup Done call.
+func hasStopPath(cfg *Config, pkg *Package, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW && stopish(cfg, exprString(n.X)) {
+				found = true
+			}
+		case *ast.RangeStmt:
+			if stopish(cfg, exprString(n.X)) || isChannelType(pkg, n.X) {
+				found = true
+			}
+		case *ast.CallExpr:
+			if sel, ok := n.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Done" && isWaitGroupish(pkg, sel.X) {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+func stopish(cfg *Config, rendered string) bool {
+	s := strings.ToLower(rendered)
+	for _, name := range cfg.SpawnStopNames {
+		if strings.Contains(s, name) {
+			return true
+		}
+	}
+	return false
+}
+
+func isChannelType(pkg *Package, e ast.Expr) bool {
+	tv, ok := pkg.Info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	_, isChan := tv.Type.Underlying().(*types.Chan)
+	return isChan
+}

@@ -1,0 +1,129 @@
+// Package guarded exercises the guardedby/atomic pass: locked-field
+// discipline (lexical lock flow, constructor exemption, function-level
+// preconditions, RWMutex read/write split) and the mixed atomic/plain
+// access bug class in both of its forms (atomic-typed fields and fields
+// reached through sync/atomic package functions).
+package guarded
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// queue is the locked shape: buf and n only move under mu.
+type queue struct {
+	mu  sync.Mutex
+	buf []int //gblint:guardedby mu
+	n   int   //gblint:guardedby mu
+}
+
+// newQueue initializes unshared state: constructors are exempt.
+func newQueue() *queue {
+	q := &queue{}
+	q.buf = make([]int, 0, 8)
+	return q
+}
+
+func (q *queue) put(v int) {
+	q.mu.Lock()
+	q.buf = append(q.buf, v)
+	q.n++
+	q.mu.Unlock()
+}
+
+func (q *queue) lenRacy() int {
+	return q.n // want:guardedby "accessed without holding it"
+}
+
+func (q *queue) lenRacyTwin() int {
+	return q.n //gblint:ignore guardedby fixture: suppressed twin of lenRacy
+}
+
+func (q *queue) afterUnlock() int {
+	q.mu.Lock()
+	n := q.n
+	q.mu.Unlock()
+	return n + q.n // want:guardedby "accessed without holding it"
+}
+
+func (q *queue) deferred() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.n
+}
+
+// grow runs with q.mu held by every caller.
+//
+//gblint:guardedby mu
+func (q *queue) grow() {
+	q.buf = append(q.buf, 0)
+}
+
+// closureLeak escapes a literal that reads q.n after the lock is gone: a
+// literal is its own lock scope.
+func (q *queue) closureLeak() func() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return func() int {
+		return q.n // want:guardedby "accessed without holding it"
+	}
+}
+
+// rw exercises the RWMutex split: RLock satisfies reads, never writes.
+type rw struct {
+	mu sync.RWMutex
+	m  map[string]int //gblint:guardedby mu
+}
+
+func (r *rw) get(k string) int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.m[k]
+}
+
+func (r *rw) putRacy(k string, v int) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	r.m[k] = v // want:guardedby "written under RLock"
+}
+
+func (r *rw) putLocked(k string, v int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.m[k] = v
+}
+
+// counter reproduces the mixed-access bug class: hits is written through
+// sync/atomic on the hot path, total is an atomic-typed field; both are
+// then touched plainly in reporting code.
+type counter struct {
+	hits  int64
+	total atomic.Int64
+}
+
+func newCounter() *counter {
+	c := &counter{}
+	c.total.Store(0)
+	return c
+}
+
+func (c *counter) hit() {
+	atomic.AddInt64(&c.hits, 1)
+	c.total.Add(1)
+}
+
+func (c *counter) reportRacy() int64 {
+	return c.hits // want:guardedby "via sync/atomic elsewhere"
+}
+
+func (c *counter) reportRacyTwin() int64 {
+	return c.hits //gblint:ignore guardedby fixture: suppressed twin of reportRacy
+}
+
+func (c *counter) resetRacy() {
+	c.total = atomic.Int64{} // want:guardedby "atomic type"
+}
+
+func (c *counter) ok() int64 {
+	return atomic.LoadInt64(&c.hits) + c.total.Load()
+}

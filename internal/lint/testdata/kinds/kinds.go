@@ -1,0 +1,83 @@
+// Package kinds exercises the exhaustiveness pass: a //gblint:kindset
+// const block and the dispatch shapes around it — full coverage, loud
+// defaults, the silent-fall-through bug class, and the escape-kind
+// pattern (a non-member routed by a default once all members are
+// covered).
+package kinds
+
+// evKind tags this fixture's typed event records.
+type evKind uint8
+
+// The fixture's kind set; dispatch sites over these must be total.
+//
+//gblint:kindset fixture-ev
+const (
+	evA evKind = iota + 1
+	evB
+	evC
+)
+
+// kindEscape is deliberately outside the kindset block: substrates route
+// it through default arms.
+const kindEscape evKind = 0
+
+func dispatchFull(k evKind) int {
+	switch k {
+	case evA:
+		return 1
+	case evB:
+		return 2
+	case evC:
+		return 3
+	}
+	return 0
+}
+
+func dispatchLoud(k evKind) int {
+	switch k {
+	case evA:
+		return 1
+	default:
+		panic("unhandled event kind")
+	}
+}
+
+func dispatchEscape(k evKind) int {
+	switch k {
+	case evA, evB:
+		return 1
+	case evC:
+		return 3
+	default:
+		return -1 // kindEscape and forged values land here
+	}
+}
+
+// dispatchLeaky is the bug class: a quiet default swallows evB and evC —
+// and any kind added to the block later.
+func dispatchLeaky(k evKind) int {
+	switch k { // want:exhaustive "misses evB, evC"
+	case evA:
+		return 1
+	default:
+		return 0
+	}
+}
+
+func dispatchMissing(k evKind) int {
+	switch k { // want:exhaustive "misses evC"
+	case evA, evB:
+		return 1
+	}
+	return 0
+}
+
+func dispatchLeakyTwin(k evKind) int {
+	//gblint:ignore exhaustive fixture: suppressed twin of dispatchLeaky
+	switch k {
+	case evA:
+		return 1
+	default:
+		return 0
+	}
+}

@@ -1,0 +1,79 @@
+// Package runtime exercises the spawn-lifecycle pass. Its fixture import
+// path sits in both DetScope and SpawnScope, so the leak case also pins
+// multi-pass findings on one line and their joint suppression.
+package runtime
+
+import "sync"
+
+// leak is the bug class: a goroutine with no WaitGroup, no stop channel,
+// and no directive. Both the determinism and spawn passes fire on it.
+func leak(work func()) {
+	go work() // want:determinism "goroutine spawned" want:spawn "no visible stop path"
+}
+
+func leakTwin(work func()) {
+	go work() //gblint:ignore determinism,spawn fixture: suppressed twin of leak for both passes
+}
+
+func waited(work func()) {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	//gblint:ignore determinism fixture: spawn-pass subject, determinism noise
+	go func() {
+		defer wg.Done()
+		work()
+	}()
+	wg.Wait()
+}
+
+func stopped(stop chan struct{}, work func()) {
+	//gblint:ignore determinism fixture: spawn-pass subject, determinism noise
+	go func() {
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				work()
+			}
+		}
+	}()
+}
+
+// ranged's worker ends when the producer closes the channel.
+func ranged(jobs chan int, work func(int)) {
+	//gblint:ignore determinism fixture: spawn-pass subject, determinism noise
+	go func() {
+		for j := range jobs {
+			work(j)
+		}
+	}()
+}
+
+// server spawns a named method whose body carries the stop path.
+type server struct {
+	wg   sync.WaitGroup
+	stop chan struct{}
+}
+
+func (s *server) start() {
+	//gblint:ignore determinism fixture: spawn-pass subject, determinism noise
+	go s.loop()
+}
+
+func (s *server) loop() {
+	defer s.wg.Done()
+	<-s.stop
+}
+
+func reasoned(work func()) {
+	//gblint:spawn fixture: process-lifetime worker, reaped at exit
+	go work() //gblint:ignore determinism fixture: spawn-pass subject, determinism noise
+}
+
+// ParMap is named for DetGoAllowed so only the spawn pass judges the bare
+// directive below.
+func ParMap(work func()) {
+	//gblint:spawn
+	go work() // want:spawn "needs a reason"
+}

@@ -184,10 +184,10 @@ func (h *Histogram) Sum() int64 {
 // entire downstream pipeline a no-op.
 type Registry struct {
 	mu     sync.Mutex
-	cs     map[string]*Counter
-	gs     map[string]*Gauge
-	hs     map[string]*Histogram
-	sorted []string // cached sorted instrument names; nil when stale
+	cs     map[string]*Counter   //gblint:guardedby mu
+	gs     map[string]*Gauge     //gblint:guardedby mu
+	hs     map[string]*Histogram //gblint:guardedby mu
+	sorted []string              //gblint:guardedby mu -- cached sorted instrument names; nil when stale
 }
 
 // NewRegistry returns an empty enabled registry.

@@ -8,7 +8,10 @@ import (
 // EventKind classifies trace events across all execution substrates.
 type EventKind uint8
 
-// Event kinds.
+// Event kinds. Every switch dispatching over them must be total or carry a
+// loud default; gblint's exhaustiveness pass enforces it.
+//
+//gblint:kindset obs-event
 const (
 	// EvSend is a message handed to the transport.
 	EvSend EventKind = iota + 1
@@ -94,11 +97,11 @@ func (e Event) String() string {
 // no-ops on a nil receiver.
 type Trace struct {
 	mu      sync.Mutex
-	buf     []Event
-	start   int    // index of the oldest retained event
-	n       int    // retained events
-	total   uint64 // events ever emitted
-	onEvent func(Event)
+	buf     []Event     //gblint:guardedby mu
+	start   int         //gblint:guardedby mu -- index of the oldest retained event
+	n       int         //gblint:guardedby mu -- retained events
+	total   uint64      //gblint:guardedby mu -- events ever emitted
+	onEvent func(Event) //gblint:guardedby mu
 }
 
 // NewTrace returns a trace sink retaining up to capacity events; onEvent,

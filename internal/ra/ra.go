@@ -148,8 +148,12 @@ func (nd *Node) Deliver(m tme.Message) []tme.Message {
 	case tme.Reply:
 		nd.receiveReply(k, m.TS)
 		return nil
-	default:
+	case tme.Release:
+		// Ricart–Agrawala has no release messages: permission travels in
+		// deferred replies. One on the wire is a corruption artifact.
 		return nil
+	default:
+		return nil // forged kind (message corruption): drop
 	}
 }
 

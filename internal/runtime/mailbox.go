@@ -9,9 +9,9 @@ import "sync"
 // own inbox fills).
 type mailbox[T any] struct {
 	mu     sync.Mutex
-	items  []T
+	items  []T           //gblint:guardedby mu
 	signal chan struct{} // capacity 1: "items may be non-empty"
-	closed bool
+	closed bool          //gblint:guardedby mu
 }
 
 func newMailbox[T any]() *mailbox[T] {

@@ -90,8 +90,8 @@ type Cluster struct {
 	ins       rtInstruments
 
 	mu      sync.Mutex
-	entries []Entry
-	onEntry func(Entry)
+	entries []Entry     //gblint:guardedby mu
+	onEntry func(Entry) //gblint:guardedby mu
 
 	stop chan struct{}
 	wg   sync.WaitGroup
@@ -132,11 +132,13 @@ func newRTInstruments(o *obs.Obs) rtInstruments {
 	}
 }
 
-// proc is one process: its node, guarded by mu, plus its inbox.
+// proc is one process: its node, guarded by mu, plus its inbox. wrap is
+// set once in NewCluster before any goroutine exists and never reassigned,
+// so it carries no guard annotation.
 type proc struct {
 	id    int
 	mu    sync.Mutex
-	node  tme.Node
+	node  tme.Node //gblint:guardedby mu
 	wrap  wrapper.Level2
 	inbox *mailbox[tme.Message]
 }
@@ -183,8 +185,13 @@ func NewCluster(cfg Config) (*Cluster, error) {
 }
 
 // OnEntry installs a callback invoked (from the entering process's event
-// loop) at every CS entry. Install before Start.
-func (c *Cluster) OnEntry(f func(Entry)) { c.onEntry = f }
+// loop) at every CS entry. Install before Start; installing later is safe
+// but entries already recorded are not replayed.
+func (c *Cluster) OnEntry(f func(Entry)) {
+	c.mu.Lock()
+	c.onEntry = f
+	c.mu.Unlock()
+}
 
 // Start launches the transport and the event-loop goroutines.
 func (c *Cluster) Start() {

@@ -380,3 +380,42 @@ func TestEdgeIndexCoversAllPairs(t *testing.T) {
 		}
 	}
 }
+
+// TestOnEntryInstallDuringRun is the regression test for the unlocked
+// onEntry write: OnEntry used to assign the field without taking c.mu,
+// racing with recordEntry's read from the event-loop goroutines. The
+// assertion is the race detector's — installing callbacks while entries
+// are being recorded must be clean under -race.
+func TestOnEntryInstallDuringRun(t *testing.T) {
+	c, err := NewCluster(Config{
+		N:       2,
+		Seed:    11,
+		NewNode: func(id, n int) tme.Node { return ra.New(id, n) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Start()
+	defer c.Stop()
+	installed := make(chan struct{})
+	go func() {
+		defer close(installed)
+		for i := 0; i < 100; i++ {
+			c.OnEntry(func(Entry) {})
+		}
+	}()
+	for round := 0; round < 5; round++ {
+		c.Request(0)
+		if !waitFor(t, 5*time.Second, func() bool { return c.Phase(0) == tme.Eating }) {
+			t.Fatal("node 0 never entered")
+		}
+		c.Release(0)
+		if !waitFor(t, 5*time.Second, func() bool { return c.Phase(0) == tme.Thinking }) {
+			t.Fatal("node 0 never released")
+		}
+	}
+	<-installed
+	if got := len(c.Entries()); got != 5 {
+		t.Fatalf("entries = %d, want 5", got)
+	}
+}

@@ -169,47 +169,64 @@ func addWeight(m, extra fault.Mix) fault.Mix {
 	return m
 }
 
+// Preset scenario names. Registered as a kind set so any future switch
+// dispatching over presets must stay total as the matrix grows.
+//
+//gblint:kindset scenario-preset
+const (
+	// PresetNone is the fault-free baseline: common-case performance.
+	PresetNone = "none"
+	// PresetMixedBurst is the repo's historical chaos diet: bursts of the
+	// default mix.
+	PresetMixedBurst = "mixed-burst"
+	// PresetGray is the slow-but-alive network: links 4× slower than
+	// nominal with perturb-heavy (state-corruption) bursts — processes
+	// stay up and reachable while their state and timing rot.
+	PresetGray = "gray"
+	// PresetGrayBurst pairs the gray network with heavier fault pressure;
+	// the CI soak runs it under a bursty workload.
+	PresetGrayBurst = "gray-burst"
+	// PresetPartition is a clean symmetric cut with a light fault diet on
+	// top.
+	PresetPartition = "partition"
+	// PresetPartitionAsym is the gray cut: the isolated group can hear
+	// the cluster but not be heard.
+	PresetPartitionAsym = "partition-asym"
+	// PresetChurn crash/recovers individual nodes repeatedly.
+	PresetChurn = "churn"
+	// PresetClockskew rots logical clocks: corruption-dominant faults
+	// that rewrite timestamps, the simulator-expressible form of skewed
+	// clocks.
+	PresetClockskew = "clockskew"
+)
+
 // presets is the named scenario matrix. Every E16 cell and every
 // `gbload -scenario` run comes from this table.
 var presets = map[string]func() Spec{
-	// none is the fault-free baseline: common-case performance.
-	"none": func() Spec { return Spec{Name: "none"} },
-	// mixed-burst is the repo's historical chaos diet: bursts of the
-	// default mix.
-	"mixed-burst": func() Spec {
-		return Spec{Name: "mixed-burst", Bursts: 3, FaultsPerBurst: 4}
+	PresetNone: func() Spec { return Spec{Name: PresetNone} },
+	PresetMixedBurst: func() Spec {
+		return Spec{Name: PresetMixedBurst, Bursts: 3, FaultsPerBurst: 4}
 	},
-	// gray is the slow-but-alive network: links 4× slower than nominal
-	// with perturb-heavy (state-corruption) bursts — processes stay up
-	// and reachable while their state and timing rot.
-	"gray": func() Spec {
-		return Spec{Name: "gray", Bursts: 3, FaultsPerBurst: 3, DelayFactor: 4,
+	PresetGray: func() Spec {
+		return Spec{Name: PresetGray, Bursts: 3, FaultsPerBurst: 3, DelayFactor: 4,
 			Mix: fault.Mix{Loss: 1, Dup: 1, Corrupt: 2, State: 4, Flush: 1}}
 	},
-	// gray-burst pairs the gray network with heavier fault pressure; the
-	// CI soak runs it under a bursty workload.
-	"gray-burst": func() Spec {
-		return Spec{Name: "gray-burst", Bursts: 5, FaultsPerBurst: 4, DelayFactor: 4,
+	PresetGrayBurst: func() Spec {
+		return Spec{Name: PresetGrayBurst, Bursts: 5, FaultsPerBurst: 4, DelayFactor: 4,
 			Mix: fault.Mix{Loss: 2, Dup: 1, Corrupt: 2, State: 4, Flush: 1}}
 	},
-	// partition is a clean symmetric cut with a light fault diet on top.
-	"partition": func() Spec {
-		return Spec{Name: "partition", Bursts: 2, FaultsPerBurst: 2, Partition: true}
+	PresetPartition: func() Spec {
+		return Spec{Name: PresetPartition, Bursts: 2, FaultsPerBurst: 2, Partition: true}
 	},
-	// partition-asym is the gray cut: the isolated group can hear the
-	// cluster but not be heard.
-	"partition-asym": func() Spec {
-		return Spec{Name: "partition-asym", Bursts: 2, FaultsPerBurst: 2,
+	PresetPartitionAsym: func() Spec {
+		return Spec{Name: PresetPartitionAsym, Bursts: 2, FaultsPerBurst: 2,
 			Partition: true, Asymmetric: true}
 	},
-	// churn crash/recovers individual nodes repeatedly.
-	"churn": func() Spec {
-		return Spec{Name: "churn", Bursts: 1, FaultsPerBurst: 2, Churn: 3}
+	PresetChurn: func() Spec {
+		return Spec{Name: PresetChurn, Bursts: 1, FaultsPerBurst: 2, Churn: 3}
 	},
-	// clockskew rots logical clocks: corruption-dominant faults that
-	// rewrite timestamps, the simulator-expressible form of skewed clocks.
-	"clockskew": func() Spec {
-		return Spec{Name: "clockskew", Bursts: 4, FaultsPerBurst: 3,
+	PresetClockskew: func() Spec {
+		return Spec{Name: PresetClockskew, Bursts: 4, FaultsPerBurst: 3,
 			Mix: fault.Mix{Corrupt: 5, State: 2}}
 	},
 }

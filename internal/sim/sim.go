@@ -188,6 +188,8 @@ type Observer func(s *Sim)
 // (delivery, client tick, wrapper tick, release) is a plain engine record
 // dispatched by a switch; only the rare path — At, used by fault injectors
 // and tests — carries a closure (engine.KindFunc).
+//
+//gblint:kindset sim-ev
 const (
 	// evDeliver pops the head of channel a→b into node b.
 	evDeliver uint8 = iota + 1
@@ -565,8 +567,10 @@ func (s *Sim) clientTick(i int) {
 				s.release(i) // audit: a fault moved the phase mid-meal
 			}
 			s.pending[i]++
+		case tme.Hungry:
+			s.pending[i]++ // waiting on the algorithm: the arrival queues
 		default:
-			s.pending[i]++ // hungry (or invalid): the arrival queues
+			s.pending[i]++ // invalid phase (corruption): the arrival queues
 		}
 		s.core.Schedule(s.thinkTimeAt(i), evClientTick, int32(i), 0)
 		return
@@ -581,9 +585,10 @@ func (s *Sim) clientTick(i int) {
 		if !s.relPend[i] {
 			s.release(i)
 		}
+	case tme.Hungry:
+		// Waiting on the algorithm: nothing for the client to do.
 	default:
-		// Hungry (waiting on the algorithm) or an invalid phase (level-1
-		// wrapper territory): nothing for the client to do.
+		// Invalid phase (level-1 wrapper territory): nothing to do.
 	}
 	s.core.Schedule(s.thinkTimeAt(i), evClientTick, int32(i), 0)
 }

@@ -22,7 +22,12 @@ import (
 type Phase int
 
 // Client phases. They start at one so the zero value is detectably invalid
-// (useful when fault injection scrambles a phase variable).
+// (useful when fault injection scrambles a phase variable). Switches
+// dispatching over phases must name all three or panic on the rest:
+// corrupted phases may hold any value, so the escape arm is a default that
+// handles them deliberately, never one that absorbs a real phase.
+//
+//gblint:kindset tme-phase
 const (
 	Thinking Phase = iota + 1
 	Hungry
@@ -51,7 +56,11 @@ func (p Phase) String() string {
 // Spec; Release is used only by Lamport ME.
 type Kind int
 
-// Message kinds.
+// Message kinds. Corruption can forge kinds outside this set, so receivers
+// route unknowns through an explicit default — but every declared kind
+// must have its own arm (gblint's exhaustiveness pass enforces it).
+//
+//gblint:kindset tme-msg
 const (
 	Request Kind = iota + 1
 	Reply

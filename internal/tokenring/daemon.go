@@ -10,6 +10,8 @@ import (
 
 // kindDaemonStep is the recurring engine event firing one central-daemon
 // move per tick.
+//
+//gblint:kindset tokenring-daemon
 const kindDaemonStep uint8 = 1
 
 // SimConfig parameterizes an engine-backed token-ring run.

@@ -105,12 +105,12 @@ type Chaos struct {
 	ins chaosInstruments
 
 	mu       sync.Mutex
-	rng      *rand.Rand
-	queues   [][]chaosEntry // indexed by edge (src-major, self-edges omitted)
-	isolated []bool
-	oneWay   bool // isolation drops only group→rest (gray asymmetric cut)
-	perturb  func(id int, rng *rand.Rand) bool
-	closed   bool
+	rng      *rand.Rand                        //gblint:guardedby mu
+	queues   [][]chaosEntry                    //gblint:guardedby mu -- indexed by edge (src-major, self-edges omitted)
+	isolated []bool                            //gblint:guardedby mu
+	oneWay   bool                              //gblint:guardedby mu -- isolation drops only group→rest (gray asymmetric cut)
+	perturb  func(id int, rng *rand.Rand) bool //gblint:guardedby mu
+	closed   bool                              //gblint:guardedby mu
 
 	kick chan struct{}
 	stop chan struct{}
@@ -236,10 +236,23 @@ func (c *Chaos) submit(m tme.Message, out Link) {
 		out.Send(m) // not a proxyable edge (shouldn't happen: route validates)
 		return
 	}
-	c.mu.Lock()
-	if c.closed {
-		c.mu.Unlock()
+	if !c.hold(idx, m, out) {
 		return
+	}
+	c.ins.held.Inc()
+	select {
+	case c.kick <- struct{}{}:
+	default:
+	}
+}
+
+// hold draws the delay and appends the entry under the lock; false when
+// the proxy is closed.
+func (c *Chaos) hold(idx int, m tme.Message, out Link) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return false
 	}
 	span := int64(c.cfg.MaxDelay - c.cfg.MinDelay)
 	delay := int64(c.cfg.MinDelay)
@@ -247,12 +260,7 @@ func (c *Chaos) submit(m tme.Message, out Link) {
 		delay += c.rng.Int63n(span + 1)
 	}
 	c.queues[idx] = append(c.queues[idx], chaosEntry{m: m, due: nowNS() + delay, out: out})
-	c.mu.Unlock()
-	c.ins.held.Inc()
-	select {
-	case c.kick <- struct{}{}:
-	default:
-	}
+	return true
 }
 
 // scheduler releases due messages in edge-scan order, preserving FIFO per

@@ -9,6 +9,22 @@ import (
 	"github.com/graybox-stabilization/graybox/internal/fault"
 )
 
+// Wire-only fault verbs: the chaos proxy's own actions, beyond the
+// fault.Kind classes (whose verbs are the Kind.String() names). The live
+// schedule applier dispatches over these; a verb added here must get an
+// arm there (gblint's exhaustiveness pass enforces it).
+//
+//gblint:kindset wire-verb
+const (
+	// VerbPartition isolates the event's Group from the rest.
+	VerbPartition = "partition"
+	// VerbPartitionOneWay installs the asymmetric (gray) cut: the group's
+	// outbound messages drop, inbound still arrive.
+	VerbPartitionOneWay = "partition-oneway"
+	// VerbHeal removes the partition.
+	VerbHeal = "heal"
+)
+
 // FaultEvent is one planned chaos action, at a fixed offset from run
 // start. The plan is drawn entirely up front from a seed, so two runs
 // with the same seed apply the identical fault sequence even though live
@@ -116,13 +132,13 @@ func NewFaultSchedule(seed int64, cfg ScheduleConfig) *FaultSchedule {
 		}
 		group := rng.Perm(cfg.N)[:size]
 		sort.Ints(group)
-		verb := "partition"
+		verb := VerbPartition
 		if cfg.Asymmetric {
-			verb = "partition-oneway"
+			verb = VerbPartitionOneWay
 		}
 		s.Events = append(s.Events,
 			FaultEvent{AtMS: durMS * 3 / 10, Verb: verb, Group: group},
-			FaultEvent{AtMS: durMS * 55 / 100, Verb: "heal"},
+			FaultEvent{AtMS: durMS * 55 / 100, Verb: VerbHeal},
 		)
 	}
 	if cfg.Churn > 0 && cfg.N > 0 {
@@ -134,8 +150,8 @@ func NewFaultSchedule(seed int64, cfg ScheduleConfig) *FaultSchedule {
 			down := 1 + rng.Int63n(durMS/20+1) // outage ≤ 5% of the run
 			node := rng.Intn(cfg.N)
 			s.Events = append(s.Events,
-				FaultEvent{AtMS: at, Verb: "partition", Group: []int{node}},
-				FaultEvent{AtMS: at + down, Verb: "heal"},
+				FaultEvent{AtMS: at, Verb: VerbPartition, Group: []int{node}},
+				FaultEvent{AtMS: at + down, Verb: VerbHeal},
 			)
 		}
 	}

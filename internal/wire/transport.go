@@ -113,9 +113,9 @@ type Transport struct {
 	dial func(addr string) (net.Conn, error)
 
 	mu     sync.Mutex
-	edges  map[edgeKey]*outEdge
-	conns  map[net.Conn]struct{}
-	closed bool
+	edges  map[edgeKey]*outEdge  //gblint:guardedby mu
+	conns  map[net.Conn]struct{} //gblint:guardedby mu
+	closed bool                  //gblint:guardedby mu
 
 	stop chan struct{}
 	wg   sync.WaitGroup
@@ -511,9 +511,12 @@ func nextBackoff(cur, max time.Duration) time.Duration {
 // and never allocate: capacity grows only when the queue outpaces its
 // consumer and is reused forever after.
 type msgQueue struct {
-	mu     sync.Mutex
-	buf    []tme.Message // ring storage; len(buf) is the capacity
-	head   int           // index of the oldest item
+	mu sync.Mutex
+	//gblint:guardedby mu
+	buf []tme.Message // ring storage; len(buf) is the capacity
+	//gblint:guardedby mu
+	head int // index of the oldest item
+	//gblint:guardedby mu
 	n      int           // items queued
 	signal chan struct{} // capacity 1: "items may be non-empty"
 }
@@ -538,6 +541,8 @@ func (q *msgQueue) put(m tme.Message) {
 }
 
 // grow doubles the ring (called with q.mu held, queue full).
+//
+//gblint:guardedby mu
 func (q *msgQueue) grow() {
 	c := len(q.buf) * 2
 	if c < 16 {

@@ -1,0 +1,38 @@
+package workload
+
+import "testing"
+
+// FuzzLoadSchedule drives the schedule loader with arbitrary bytes: any
+// input LoadSchedule accepts must yield replay streams that never panic
+// and honor the Client contract (positive think/hold draws, in-range
+// resource picks) — including ids beyond the recorded client set, which
+// reuse traces round-robin.
+func FuzzLoadSchedule(f *testing.F) {
+	f.Add(Record(UniformSpec(1, 8, 2), 1, 3, 4).JSON())
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"clients":[{"thinks":[1],"holds":[1]}]}`))
+	f.Add([]byte(`{"clients":[{"thinks":[-5,0],"holds":[9e18],"resources":[-3,99]}]}`))
+	f.Add([]byte(`not json`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := LoadSchedule(data)
+		if err != nil {
+			return
+		}
+		for id := 0; id <= len(s.Clients); id++ {
+			c := s.Client(id)
+			c.Cohort()
+			c.Open()
+			for j := 0; j < 8; j++ {
+				if v := c.NextThink(); v < 1 {
+					t.Fatalf("client %d: NextThink = %d, want ≥ 1", id, v)
+				}
+				if v := c.NextHold(); v < 1 {
+					t.Fatalf("client %d: NextHold = %d, want ≥ 1", id, v)
+				}
+				if r := c.NextResource(4); r < 0 || r >= 4 {
+					t.Fatalf("client %d: NextResource(4) = %d out of range", id, r)
+				}
+			}
+		}
+	})
+}

@@ -32,7 +32,10 @@ import (
 // ArrivalKind selects how a client's CS attempts arrive.
 type ArrivalKind int
 
-// Arrival shapes.
+// Arrival shapes. NextThink and String dispatch over these; both must
+// name every shape.
+//
+//gblint:kindset workload-arrival
 const (
 	// ClosedUniform is the classic closed loop: after each release the
 	// client thinks for a uniform random time, then requests again. This is
@@ -93,7 +96,10 @@ type Arrival struct {
 // HoldKind selects a cohort's CS hold-time distribution.
 type HoldKind int
 
-// Hold-time distributions.
+// Hold-time distributions. NextHold and String dispatch over these; both
+// must name every distribution.
+//
+//gblint:kindset workload-hold
 const (
 	// HoldFixed holds the CS for a constant time.
 	HoldFixed HoldKind = iota + 1
@@ -326,9 +332,11 @@ func (g *genClient) NextThink() int64 {
 		return g.burstyGap(a)
 	case OpenDiurnal:
 		return g.diurnalGap(a)
-	default: // ClosedUniform
+	case ClosedUniform:
 		return uniformGap(g.arrive, a.ThinkMin, a.ThinkMax)
 	}
+	// Zero-value configs take the historical closed-loop default.
+	return uniformGap(g.arrive, a.ThinkMin, a.ThinkMax)
 }
 
 // burstyGap draws Poisson gaps in "on-time" and converts them to real
@@ -415,7 +423,9 @@ func (g *genClient) NextHold() int64 {
 			xmin = 1
 		}
 		v = int64(xmin * math.Pow(u, -1/alpha))
-	default: // HoldFixed
+	case HoldFixed:
+		v = h.Fixed
+	default: // zero-value configs behave as HoldFixed
 		v = h.Fixed
 	}
 	if h.Cap > 0 && v > h.Cap {
