@@ -41,6 +41,7 @@ test-race:
 soak:
 	$(GO) run -race ./cmd/gbload -n 5 -duration 10s -seed 1 -v2 0 -check
 	$(GO) run -race ./cmd/gbload -n 5 -duration 10s -seed 1 -workload bursty -scenario gray-burst -check
+	$(GO) run -race ./cmd/gbload -n 8 -shards 4 -duration 10s -seed 1 -check
 
 cover:
 	$(GO) test -cover ./...
@@ -57,7 +58,7 @@ bench-baseline:
 # the CI bench-gate: ns/op is environment-sensitive across machines, so
 # allocs/op and bytes/op are the stable signals to watch in the diff table.
 bench-compare:
-	$(GO) run ./cmd/bench -out BENCH_PR8.json -compare BENCH_PR7.json -tolerance 0.15 -fail-tolerance 1.0
+	$(GO) run ./cmd/bench -out BENCH_PR9.json -compare BENCH_PR8.json -tolerance 0.15 -fail-tolerance 1.0
 
 # Regenerate every experiment table of EXPERIMENTS.md (full scale ≈ 30 min).
 experiments:

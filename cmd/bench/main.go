@@ -186,6 +186,10 @@ func run(args []string, out, errOut io.Writer) error {
 	record("bench_wire_throughput", benchWireThroughput)
 	record("bench_wire_codec", benchWireCodec)
 
+	// Engine core: the schedule→dispatch cycle every substrate (and every
+	// per-shard core) sits on. Must stay allocation-free.
+	record("bench_engine_dispatch", benchEngineDispatch)
+
 	w := out
 	if *outPath != "-" {
 		f, err := os.Create(*outPath)

@@ -35,7 +35,7 @@ func run(args []string, out io.Writer) error {
 	scaleName := fs.String("scale", "quick", "sweep scale: quick or full")
 	markdown := fs.Bool("markdown", false, "emit GitHub-flavored markdown tables")
 	csvOut := fs.Bool("csv", false, "emit CSV (one table after another, titles as comments)")
-	only := fs.String("only", "", "run a single experiment (E1..E16)")
+	only := fs.String("only", "", "run a single experiment (E1..E17)")
 	jsonPath := fs.String("json", "", `write per-experiment merged obs snapshots as JSON to this file ("-" = stdout)`)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -128,6 +128,7 @@ func selectExperiments(scale harness.Scale, only string) ([]string, map[string]f
 		"E14": func() *harness.Table { return harness.UnifiedFaults(scale) },
 		"E15": func() *harness.Table { return harness.LiveCluster(scale) },
 		"E16": func() *harness.Table { return harness.WorkloadMatrix(scale) },
+		"E17": func() *harness.Table { return harness.ShardScale(scale) },
 	}
 	if only != "" {
 		if _, ok := builders[only]; !ok {
@@ -135,5 +136,5 @@ func selectExperiments(scale harness.Scale, only string) ([]string, map[string]f
 		}
 		return []string{only}, builders
 	}
-	return []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14", "E15", "E16"}, builders
+	return []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14", "E15", "E16", "E17"}, builders
 }

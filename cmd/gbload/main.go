@@ -53,6 +53,7 @@ func main() {
 func run(args []string, out, errOut io.Writer) error {
 	fs := flag.NewFlagSet("gbload", flag.ContinueOnError)
 	n := fs.Int("n", 3, "cluster size (loopback mode)")
+	shards := fs.Int("shards", 1, "independent critical sections; drivers pick each attempt's shard from the workload skew draw")
 	duration := fs.Duration("duration", 2*time.Second, "measured run length")
 	seed := fs.Int64("seed", 1, "seed for the fault schedule, chaos delays, and think times")
 	algo := fs.String("algo", "ra", "protocol: ra or lamport")
@@ -94,7 +95,7 @@ func run(args []string, out, errOut io.Writer) error {
 	}
 
 	cfg := harness.LiveConfig{
-		N: *n, Algo: a, Seed: *seed, Duration: *duration, Delta: *delta,
+		N: *n, Shards: *shards, Algo: a, Seed: *seed, Duration: *duration, Delta: *delta,
 	}
 	if *v2Nodes != "" {
 		ids, err := parseIDs(*v2Nodes, *n)
@@ -177,8 +178,8 @@ func run(args []string, out, errOut io.Writer) error {
 
 	o := obs.New(obs.Options{})
 	cfg.Obs = o
-	fmt.Fprintf(status, "gbload: loopback cluster n=%d algo=%v delta=%v duration=%v seed=%d (%d scheduled events)\n",
-		*n, a, *delta, *duration, *seed, schedLen(sched))
+	fmt.Fprintf(status, "gbload: loopback cluster n=%d shards=%d algo=%v delta=%v duration=%v seed=%d (%d scheduled events)\n",
+		*n, *shards, a, *delta, *duration, *seed, schedLen(sched))
 	res, err := harness.RunLive(cfg)
 	if err != nil {
 		return err
@@ -236,6 +237,11 @@ func recordResult(r *obs.Registry, res harness.LiveResult) {
 		converged = 1
 	}
 	set("gbload_converged", "1 when progress resumed after the convergence point", converged)
+	// Sharded runs publish their per-shard entry counts as gauges, so skew
+	// is visible straight from the snapshot.
+	for s, e := range res.EntriesByShard {
+		r.Gauge(fmt.Sprintf("gbload_shard_%d_entries", s), "CS entries on one shard").Set(int64(e))
+	}
 	// Wire throughput: framed messages per second across the whole cluster,
 	// from the transport's own counter — the live-path number the batched
 	// sender work is gated on.

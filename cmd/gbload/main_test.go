@@ -3,6 +3,7 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"fmt"
 	"io"
 	"os"
 	"path/filepath"
@@ -106,5 +107,33 @@ func TestRemoteObserve(t *testing.T) {
 	if err := run([]string{"-connect", "127.0.0.1:1", "-duration", "10ms"},
 		io.Discard, io.Discard); err == nil {
 		t.Error("unreachable -connect target did not error")
+	}
+}
+
+// A sharded loopback run passes -check and publishes per-shard entry
+// gauges that sum to the total.
+func TestLoopbackShardedRun(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{
+		"-n", "3", "-shards", "3", "-duration", "900ms", "-seed", "2",
+		"-bursts", "2", "-check",
+	}, &out, io.Discard)
+	if err != nil {
+		t.Fatalf("gbload -shards -check failed: %v", err)
+	}
+	s := obs.NewSnapshot()
+	if err := json.Unmarshal(out.Bytes(), s); err != nil {
+		t.Fatalf("output is not a snapshot: %v", err)
+	}
+	total := s.Gauge("gbload_entries", 0)
+	var byShard int64
+	for shard := 0; shard < 3; shard++ {
+		byShard += s.Gauge(fmt.Sprintf("gbload_shard_%d_entries", shard), 0)
+	}
+	if total == 0 || byShard != total {
+		t.Errorf("per-shard entries sum %d != total %d", byShard, total)
+	}
+	if s.Gauge("gbload_safety_violations_after_convergence", -1) != 0 {
+		t.Error("post-convergence violations in a passing sharded run")
 	}
 }

@@ -80,6 +80,7 @@ func parseFlags(args []string) (NodeConfig, error) {
 	var cfg NodeConfig
 	fs.IntVar(&cfg.ID, "id", 0, "this node's process id (0..n-1)")
 	fs.IntVar(&cfg.N, "n", 1, "cluster size")
+	fs.IntVar(&cfg.Shards, "shards", 1, "independent critical sections (per-shard protocol instances)")
 	fs.StringVar(&cfg.Listen, "listen", "127.0.0.1:0", "wire transport listen address")
 	peers := fs.String("peers", "", "comma-separated peer addresses, one per id (empty for n=1)")
 	algo := fs.String("algo", "ra", "protocol: ra or lamport")

@@ -15,13 +15,13 @@ import (
 
 func TestParseFlags(t *testing.T) {
 	cfg, err := parseFlags([]string{
-		"-id", "1", "-n", "3", "-peers", "a:1,b:2,c:3", "-algo", "lamport",
+		"-id", "1", "-n", "3", "-shards", "2", "-peers", "a:1,b:2,c:3", "-algo", "lamport",
 		"-delta", "10ms", "-duration", "1s", "-seed", "9",
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if cfg.ID != 1 || cfg.N != 3 || len(cfg.Peers) != 3 || cfg.Algo != harness.Lamport ||
+	if cfg.ID != 1 || cfg.N != 3 || cfg.Shards != 2 || len(cfg.Peers) != 3 || cfg.Algo != harness.Lamport ||
 		cfg.Delta != 10*time.Millisecond || cfg.Duration != time.Second || cfg.Seed != 9 {
 		t.Errorf("parsed config = %+v", cfg)
 	}
@@ -88,8 +88,10 @@ func TestThreeNodeCluster(t *testing.T) {
 	nodes := make([]*Node, n)
 	addrs := make([]string, n)
 	for i := 0; i < n; i++ {
+		// Two shards: the cluster speaks the sharded wire protocol end to
+		// end, each client loop drawing its shard per attempt.
 		nd, err := StartNode(NodeConfig{
-			ID: i, N: n, Peers: make([]string, n), Algo: harness.RA,
+			ID: i, N: n, Shards: 2, Peers: make([]string, n), Algo: harness.RA,
 			Delta: 25 * time.Millisecond, HTTP: "",
 			Think: 6 * time.Millisecond, Eat: time.Millisecond,
 			Seed: int64(i),

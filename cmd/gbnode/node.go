@@ -18,7 +18,11 @@ import (
 
 // NodeConfig collects everything a single TME node process needs.
 type NodeConfig struct {
-	ID, N       int
+	ID, N int
+	// Shards is the number of independent critical sections the cluster
+	// runs (default 1); the client loop draws each attempt's shard from
+	// its workload skew stream.
+	Shards      int
 	Listen      string
 	Peers       []string // one address per id; Peers[ID] is replaced by the bound address
 	Algo        harness.Algo
@@ -64,6 +68,9 @@ func StartNode(cfg NodeConfig) (*Node, error) {
 	if cfg.N > 1 && len(cfg.Peers) != cfg.N {
 		return nil, fmt.Errorf("-peers lists %d addresses, want %d (one per id)", len(cfg.Peers), cfg.N)
 	}
+	if cfg.Shards <= 0 {
+		cfg.Shards = 1
+	}
 	if cfg.Think <= 0 {
 		cfg.Think = 15 * time.Millisecond
 	}
@@ -95,7 +102,7 @@ func StartNode(cfg NodeConfig) (*Node, error) {
 		newWrapper = func(int) wrapper.Level2 { return wrapper.NewTimed(delta) }
 	}
 	cl, err := runtime.NewCluster(runtime.Config{
-		N: cfg.N, Seed: cfg.Seed, Local: []int{cfg.ID},
+		N: cfg.N, Shards: cfg.Shards, Seed: cfg.Seed, Local: []int{cfg.ID},
 		NewNode:     cfg.Algo.Factory(),
 		NewWrapper:  newWrapper,
 		WrapperTick: cfg.WrapperTick,
@@ -184,11 +191,14 @@ func (nd *Node) clientLoop() {
 		if !sleepOrStop(nd.stop, think) {
 			return
 		}
-		switch nd.cluster.Phase(id) {
+		// Each attempt targets the shard the workload draws (always 0 in
+		// unsharded clusters, consuming no randomness there).
+		shard := client.NextResource(nd.cfg.Shards)
+		switch nd.cluster.PhaseShard(shard, id) {
 		case tme.Eating:
 			// A corrupted process can find itself eating without having
 			// asked; the client contract is bounded eating, so release.
-			nd.cluster.Release(id)
+			nd.cluster.ReleaseShard(shard, id)
 			continue
 		case tme.Thinking:
 		case tme.Hungry:
@@ -196,17 +206,17 @@ func (nd *Node) clientLoop() {
 		default:
 			continue // invalid phase (corruption): skip the cycle
 		}
-		nd.cluster.Request(id)
-		for nd.cluster.Phase(id) != tme.Eating {
+		nd.cluster.RequestShard(shard, id)
+		for nd.cluster.PhaseShard(shard, id) != tme.Eating {
 			if !sleepOrStop(nd.stop, 200*time.Microsecond) {
 				return
 			}
 		}
 		if !sleepOrStop(nd.stop, time.Duration(client.NextHold())*harness.LiveTick) {
-			nd.cluster.Release(id)
+			nd.cluster.ReleaseShard(shard, id)
 			return
 		}
-		nd.cluster.Release(id)
+		nd.cluster.ReleaseShard(shard, id)
 	}
 }
 

@@ -812,5 +812,6 @@ func All(scale Scale) []*Table {
 		UnifiedFaults(scale),
 		LiveCluster(scale),
 		WorkloadMatrix(scale),
+		ShardScale(scale),
 	}
 }

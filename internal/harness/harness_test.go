@@ -202,8 +202,8 @@ func TestQuickExperimentsRun(t *testing.T) {
 		t.Skip("quick experiments still take seconds")
 	}
 	tables := All(Quick)
-	if len(tables) != 16 {
-		t.Fatalf("tables = %d, want 16", len(tables))
+	if len(tables) != 17 {
+		t.Fatalf("tables = %d, want 17", len(tables))
 	}
 	for _, tab := range tables {
 		if len(tab.Rows) == 0 {

@@ -54,6 +54,12 @@ func liveNowNS() int64 { return time.Now().UnixNano() }
 type LiveConfig struct {
 	// N is the cluster size. Default 3.
 	N int
+	// Shards is the number of independent critical sections (default 1).
+	// Each process runs one protocol instance per shard; drivers pick the
+	// shard of each attempt from the workload's resource draw (Zipf-skewed
+	// when the spec says so), and ME1 is sampled per shard. Shards == 1 is
+	// the single-CS run of earlier versions, draw-for-draw identical.
+	Shards int
 	// Algo selects the protocol. Default RA.
 	Algo Algo
 	// Seed drives the chaos proxy's delays, the drivers' think times, and
@@ -102,6 +108,9 @@ func (c LiveConfig) withDefaults() LiveConfig {
 	if c.N <= 0 {
 		c.N = 3
 	}
+	if c.Shards <= 0 {
+		c.Shards = 1
+	}
 	if c.Algo == 0 {
 		c.Algo = RA
 	}
@@ -143,6 +152,9 @@ type LiveResult struct {
 	// attempts the drivers issued.
 	Entries  int `json:"entries"`
 	Requests int `json:"requests"`
+	// EntriesByShard breaks Entries down per shard (omitted when the run
+	// is unsharded); skewed workloads show their heat here.
+	EntriesByShard []int `json:"entries_by_shard,omitempty"`
 	// ThroughputPerSec is entries per wall-clock second.
 	ThroughputPerSec float64 `json:"throughput_per_sec"`
 	// CS-entry latency percentiles (request → entry), microseconds.
@@ -207,8 +219,9 @@ func RunLive(cfg LiveConfig) (LiveResult, error) {
 			int64(cfg.EatTime/LiveTick)), cfg.Seed+100, n)
 	}
 
+	shards := cfg.Shards
 	chaos := wire.NewChaos(wire.ChaosConfig{
-		N: n, Seed: cfg.Seed + 1,
+		N: n, Shards: shards, Seed: cfg.Seed + 1,
 		MinDelay: cfg.ChaosMinDelay, MaxDelay: cfg.ChaosMaxDelay,
 		Obs: o,
 	})
@@ -247,7 +260,7 @@ func RunLive(cfg LiveConfig) (LiveResult, error) {
 	clusters := make([]*runtime.Cluster, n)
 	for i := 0; i < n; i++ {
 		cl, err := runtime.NewCluster(runtime.Config{
-			N: n, Seed: cfg.Seed + int64(i), Local: []int{i},
+			N: n, Shards: shards, Seed: cfg.Seed + int64(i), Local: []int{i},
 			NewNode:     cfg.Algo.Factory(),
 			NewWrapper:  newWrapper,
 			WrapperTick: cfg.WrapperTick,
@@ -272,22 +285,27 @@ func RunLive(cfg LiveConfig) (LiveResult, error) {
 		return true
 	})
 
-	// Shared measurement state.
+	// Shared measurement state. reqAt is per (shard, process): a process
+	// can have independent requests in flight on different shards.
 	var (
-		mu         sync.Mutex
-		entryTimes []int64
-		latencies  []int64
-		violTimes  []int64
-		requests   int64
+		mu            sync.Mutex
+		entryTimes    []int64
+		latencies     []int64
+		violTimes     []int64
+		requests      int64
+		entriesByShrd = make([]int, shards)
 	)
-	reqAt := make([]atomic.Int64, n)
+	reqAt := make([][]atomic.Int64, shards)
+	for s := range reqAt {
+		reqAt[s] = make([]atomic.Int64, n)
+	}
 	fair := o.Fairness()
 	for i := range clusters {
 		i := i
 		clusters[i].OnEntry(func(e runtime.Entry) {
 			at := e.At.UnixNano()
 			var lat int64 = -1
-			if r := reqAt[i].Load(); r > 0 {
+			if r := reqAt[e.Shard][i].Load(); r > 0 {
 				lat = at - r
 			}
 			latTicks := int64(-1)
@@ -297,6 +315,7 @@ func RunLive(cfg LiveConfig) (LiveResult, error) {
 			fair.RecordEntry(i, latTicks)
 			mu.Lock()
 			entryTimes = append(entryTimes, at)
+			entriesByShrd[e.Shard]++
 			if lat >= 0 {
 				latencies = append(latencies, lat)
 			}
@@ -336,12 +355,15 @@ func RunLive(cfg LiveConfig) (LiveResult, error) {
 				if !liveSleep(stop, wait) {
 					return
 				}
-				switch clusters[i].Phase(i) {
+				// The workload's resource draw picks this attempt's shard
+				// (Zipf-skewed when the spec says so; always 0 unsharded).
+				shard := client.NextResource(shards)
+				switch clusters[i].PhaseShard(shard, i) {
 				case tme.Eating:
 					// State corruption can forge the eating phase without
 					// a matching request; the client's contract is to eat
 					// for a bounded time, so release and move on.
-					clusters[i].Release(i)
+					clusters[i].ReleaseShard(shard, i)
 					continue
 				case tme.Thinking:
 				case tme.Hungry:
@@ -349,19 +371,19 @@ func RunLive(cfg LiveConfig) (LiveResult, error) {
 				default:
 					continue // invalid phase (corruption): skip the cycle
 				}
-				reqAt[i].Store(liveNowNS())
+				reqAt[shard][i].Store(liveNowNS())
 				atomic.AddInt64(&requests, 1)
-				clusters[i].Request(i)
-				if !liveWaitPhase(stop, clusters[i], i, tme.Eating) {
-					if clusters[i].Phase(i) != tme.Eating {
+				clusters[i].RequestShard(shard, i)
+				if !liveWaitPhase(stop, clusters[i], shard, i, tme.Eating) {
+					if clusters[i].PhaseShard(shard, i) != tme.Eating {
 						return
 					}
 				}
 				if !liveSleep(stop, time.Duration(client.NextHold())*LiveTick) {
-					clusters[i].Release(i)
+					clusters[i].ReleaseShard(shard, i)
 					return
 				}
-				clusters[i].Release(i)
+				clusters[i].ReleaseShard(shard, i)
 			}
 		}()
 	}
@@ -376,14 +398,24 @@ func RunLive(cfg LiveConfig) (LiveResult, error) {
 		ticker := time.NewTicker(cfg.SampleEvery)
 		defer ticker.Stop()
 		conv := o.Convergence()
-		eating := func() int {
+		eating := func(s int) int {
 			c := 0
 			for i := 0; i < n; i++ {
-				if clusters[i].Phase(i) == tme.Eating {
+				if clusters[i].PhaseShard(s, i) == tme.Eating {
 					c++
 				}
 			}
 			return c
+		}
+		// ME1 is per shard: shards are independent critical sections, so
+		// two eaters are only a violation on the same shard.
+		anyViolation := func() bool {
+			for s := 0; s < shards; s++ {
+				if eating(s) > 1 {
+					return true
+				}
+			}
+			return false
 		}
 		for {
 			select {
@@ -392,7 +424,7 @@ func RunLive(cfg LiveConfig) (LiveResult, error) {
 			case <-ticker.C:
 				// Double-read: only count when the second scan agrees,
 				// so an entry/release racing the first scan doesn't.
-				if eating() > 1 && eating() > 1 {
+				if anyViolation() && anyViolation() {
 					at := liveNowNS()
 					conv.RecordViolation(at)
 					mu.Lock()
@@ -460,6 +492,9 @@ func RunLive(cfg LiveConfig) (LiveResult, error) {
 	defer mu.Unlock()
 	res.Entries = len(entryTimes)
 	res.Requests = int(atomic.LoadInt64(&requests))
+	if shards > 1 {
+		res.EntriesByShard = entriesByShrd
+	}
 	if res.DurationMS > 0 {
 		res.ThroughputPerSec = float64(res.Entries) * 1000 / float64(res.DurationMS)
 	}
@@ -544,10 +579,11 @@ func liveSleep(stop <-chan struct{}, d time.Duration) bool {
 	}
 }
 
-// liveWaitPhase polls until process id of cl reaches phase or stop closes.
-func liveWaitPhase(stop <-chan struct{}, cl *runtime.Cluster, id int, phase tme.Phase) bool {
+// liveWaitPhase polls until process id of cl reaches phase on shard or
+// stop closes.
+func liveWaitPhase(stop <-chan struct{}, cl *runtime.Cluster, shard, id int, phase tme.Phase) bool {
 	for {
-		if cl.Phase(id) == phase {
+		if cl.PhaseShard(shard, id) == phase {
 			return true
 		}
 		if !liveSleep(stop, 200*time.Microsecond) {

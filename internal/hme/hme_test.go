@@ -1,0 +1,110 @@
+package hme
+
+import (
+	"slices"
+	"testing"
+
+	"github.com/graybox-stabilization/graybox/internal/obs"
+	"github.com/graybox-stabilization/graybox/internal/tme"
+)
+
+func TestCanonicalize(t *testing.T) {
+	got := Canonicalize([]int{3, 1, 3, 0, 1})
+	if !slices.Equal(got, []int{0, 1, 3}) {
+		t.Fatalf("Canonicalize = %v, want [0 1 3]", got)
+	}
+}
+
+func TestAcqAscendingOrder(t *testing.T) {
+	a := NewAcq(7, []int{2, 0, 2, 1})
+	want := []int{0, 1, 2}
+	for i, s := range want {
+		shard, ok := a.Pending()
+		if !ok || shard != s {
+			t.Fatalf("step %d: pending = %d,%v, want %d,true", i, shard, ok, s)
+		}
+		if err := a.Grant(shard); err != nil {
+			t.Fatalf("Grant(%d): %v", shard, err)
+		}
+		if !slices.Equal(a.Held(), want[:i+1]) {
+			t.Fatalf("step %d: held = %v", i, a.Held())
+		}
+	}
+	if !a.Done() {
+		t.Fatal("acquisition not done after all grants")
+	}
+	if err := a.Grant(0); err == nil {
+		t.Fatal("grant after completion did not error")
+	}
+}
+
+func TestAcqRejectsOutOfOrderGrant(t *testing.T) {
+	a := NewAcq(1, []int{0, 2})
+	if err := a.Grant(2); err == nil {
+		t.Fatal("out-of-order grant accepted")
+	}
+}
+
+func TestMonitorCountsAndOrder(t *testing.T) {
+	r := obs.NewRegistry()
+	m := NewMonitor(r)
+	m.Observe(OpAcquire, 1, 0, []int{0, 2, 3})
+	m.Observe(OpGrant, 1, 0, nil)
+	m.Observe(OpGrant, 1, 2, nil)
+	m.Observe(OpGrant, 1, 3, nil)
+	if m.InFlight() != 1 {
+		t.Fatalf("InFlight = %d, want 1", m.InFlight())
+	}
+	m.Observe(OpRelease, 1, 0, nil)
+	if m.InFlight() != 0 {
+		t.Fatalf("InFlight after release = %d, want 0", m.InFlight())
+	}
+
+	// A descending grant is an order violation.
+	m.Observe(OpAcquire, 2, 0, []int{1, 4})
+	m.Observe(OpGrant, 2, 4, nil)
+	m.Observe(OpGrant, 2, 1, nil)
+
+	s := r.Snapshot()
+	checks := map[string]int64{
+		"hme_acquisitions_total":     2,
+		"hme_grants_total":           5,
+		"hme_releases_total":         1,
+		"hme_order_violations_total": 1,
+	}
+	for name, want := range checks {
+		if got := s.Counter(name); got != want {
+			t.Errorf("%s = %d, want %d", name, got, want)
+		}
+	}
+	if got := s.Gauge("hme_max_set", 0); got != 3 {
+		t.Errorf("hme_max_set = %d, want 3", got)
+	}
+}
+
+func TestMonitorAudit(t *testing.T) {
+	r := obs.NewRegistry()
+	m := NewMonitor(r)
+	m.Observe(OpAcquire, 0, 0, []int{1, 2})
+	m.Observe(OpGrant, 0, 1, nil)
+	m.Observe(OpGrant, 0, 2, nil)
+	m.Audit(0, func(shard int) tme.Phase {
+		if shard == 2 {
+			return tme.Hungry // scrambled: held but not eating
+		}
+		return tme.Eating
+	})
+	if got := r.Snapshot().Counter("hme_audit_violations_total"); got != 1 {
+		t.Fatalf("audit violations = %d, want 1", got)
+	}
+}
+
+func TestNilMonitorIsNoOp(t *testing.T) {
+	var m *Monitor
+	m.Observe(OpAcquire, 0, 0, nil)
+	m.Observe(OpGrant, 0, 0, nil)
+	m.Audit(0, nil)
+	if m.InFlight() != 0 {
+		t.Fatal("nil monitor reports in-flight work")
+	}
+}

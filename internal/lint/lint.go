@@ -162,6 +162,9 @@ func DefaultConfig() *Config {
 			{Scope: "internal/wrapper", Deny: protocols, Reason: specSide},
 			{Scope: "internal/spec", Deny: protocols, Reason: specSide},
 			{Scope: "internal/lspec", Deny: protocols, Reason: specSide},
+			{Scope: "internal/hme", Deny: append([]string{
+				"internal/wrapper", "internal/sim", "internal/runtime", "internal/harness",
+			}, protocols...), Reason: "the hierarchical wrapper-of-wrappers sees per-shard spec views only: no protocol internals (graybox rule) and no substrates (they drive it, never the reverse)"},
 			{Scope: "internal/ra", Deny: []string{"internal/wrapper", "internal/sim"}, Reason: implSide},
 			{Scope: "internal/lamport", Deny: []string{"internal/wrapper", "internal/sim"}, Reason: implSide},
 			{Scope: "internal/tokenring", Deny: []string{"internal/wrapper", "internal/sim"}, Reason: implSide},
@@ -195,9 +198,12 @@ func DefaultConfig() *Config {
 			"internal/fault", "internal/channel", "internal/lspec",
 			"internal/ra", "internal/lamport", "internal/tokenring", "internal/ring",
 			"internal/engine", "internal/wire",
-			"internal/workload", "internal/scenario",
+			"internal/workload", "internal/scenario", "internal/hme",
 		},
-		DetGoAllowed:   []string{"ParMap"},
+		// ParMap is the harness's deterministic parallel sweep; RunBarrier is
+		// the engine group's parallel shard window — both join before any
+		// result is observed, so the spawned goroutines cannot order-race.
+		DetGoAllowed:   []string{"ParMap", "RunBarrier"},
 		DetTimeFuncs:   []string{"Now", "Since", "Until"},
 		DetRandAllowed: []string{"New", "NewSource", "NewZipf"},
 		OrderedSinks: []string{

@@ -26,6 +26,12 @@ import (
 type Config struct {
 	// N is the number of processes (required, ≥ 1).
 	N int
+	// Shards is the number of independent protocol instances every process
+	// participates in (default 1). Each shard runs its own node state and
+	// wrapper per process; messages carry the shard in tme.Message.Resource
+	// and are routed to the matching instance. Shard 0 with Shards == 1 is
+	// the single-CS system of the paper, byte-identical on the wire.
+	Shards int
 	// Seed drives delays and fault draws.
 	Seed int64
 	// NewNode constructs each process (required).
@@ -61,6 +67,9 @@ type Config struct {
 }
 
 func (c Config) withDefaults() Config {
+	if c.Shards <= 0 {
+		c.Shards = 1
+	}
 	if c.WrapperTick <= 0 {
 		c.WrapperTick = 2 * time.Millisecond
 	}
@@ -77,6 +86,8 @@ func (c Config) withDefaults() Config {
 type Entry struct {
 	// ID is the entering process; Seq numbers entries cluster-wide.
 	ID, Seq int
+	// Shard is the protocol instance entered (0 in unsharded clusters).
+	Shard int
 	// At is the wall-clock entry time.
 	At time.Time
 }
@@ -85,7 +96,7 @@ type Entry struct {
 // then Start; always Stop to reclaim every goroutine.
 type Cluster struct {
 	cfg       Config
-	procs     []*proc // indexed by id; nil for ids not in cfg.Local
+	procs     [][]*proc // indexed [shard][id]; nil for ids not in cfg.Local
 	transport Transport
 	ins       rtInstruments
 
@@ -137,6 +148,7 @@ func newRTInstruments(o *obs.Obs) rtInstruments {
 // so it carries no guard annotation.
 type proc struct {
 	id    int
+	shard int
 	mu    sync.Mutex
 	node  tme.Node //gblint:guardedby mu
 	wrap  wrapper.Level2
@@ -166,16 +178,21 @@ func NewCluster(cfg Config) (*Cluster, error) {
 			local[id] = true
 		}
 	}
-	c.procs = make([]*proc, cfg.N)
-	for i := 0; i < cfg.N; i++ {
-		if !local[i] {
-			continue
+	c.procs = make([][]*proc, c.cfg.Shards)
+	for s := 0; s < c.cfg.Shards; s++ {
+		c.procs[s] = make([]*proc, cfg.N)
+		for i := 0; i < cfg.N; i++ {
+			if !local[i] {
+				continue
+			}
+			p := &proc{id: i, shard: s, node: cfg.NewNode(i, cfg.N), inbox: newMailbox[tme.Message]()}
+			if cfg.NewWrapper != nil {
+				// Instrumentation is per process id; shard instances of one
+				// process share its wrapper gauges, which sum naturally.
+				p.wrap = wrapper.InstrumentLevel2(cfg.Obs, i, cfg.NewWrapper(i))
+			}
+			c.procs[s][i] = p
 		}
-		p := &proc{id: i, node: cfg.NewNode(i, cfg.N), inbox: newMailbox[tme.Message]()}
-		if cfg.NewWrapper != nil {
-			p.wrap = wrapper.InstrumentLevel2(cfg.Obs, i, cfg.NewWrapper(i))
-		}
-		c.procs[i] = p
 	}
 	c.transport = cfg.Transport
 	if c.transport == nil {
@@ -196,17 +213,19 @@ func (c *Cluster) OnEntry(f func(Entry)) {
 // Start launches the transport and the event-loop goroutines.
 func (c *Cluster) Start() {
 	c.transport.Start(c.deliver)
-	for _, p := range c.procs {
-		if p == nil {
-			continue
+	for _, shard := range c.procs {
+		for _, p := range shard {
+			if p == nil {
+				continue
+			}
+			p := p
+			c.wg.Add(1)
+			//gblint:ignore determinism this package IS the real-concurrency substrate; determinism is the simulator's job
+			go func() {
+				defer c.wg.Done()
+				c.eventLoop(p)
+			}()
 		}
-		p := p
-		c.wg.Add(1)
-		//gblint:ignore determinism this package IS the real-concurrency substrate; determinism is the simulator's job
-		go func() {
-			defer c.wg.Done()
-			c.eventLoop(p)
-		}()
 	}
 }
 
@@ -221,14 +240,20 @@ func (c *Cluster) Stop() {
 	c.wg.Wait()
 }
 
-// deliver is the transport's callback: enqueue m for local process dst.
-// Messages to remote or out-of-range ids are dropped (the transport on the
-// hosting machine delivers those).
+// deliver is the transport's callback: enqueue m for local process dst on
+// the shard instance its Resource names. Messages to remote/out-of-range
+// ids are dropped (the transport on the hosting machine delivers those);
+// so are messages whose resource id no local shard runs — a forged or
+// corrupted shard id is semantic garbage, dropped like any other.
 func (c *Cluster) deliver(dst int, m tme.Message) {
-	if dst < 0 || dst >= c.cfg.N || c.procs[dst] == nil {
+	if dst < 0 || dst >= c.cfg.N || m.Resource < 0 || m.Resource >= c.cfg.Shards {
 		return
 	}
-	c.procs[dst].inbox.put(m)
+	p := c.procs[m.Resource][dst]
+	if p == nil {
+		return
+	}
+	p.inbox.put(m)
 }
 
 // eventLoop drives one process: deliver messages, run the wrapper on its
@@ -260,9 +285,9 @@ func (c *Cluster) eventLoop(p *proc) {
 				entered, more := p.node.Step()
 				p.mu.Unlock()
 				c.ins.delivered.Inc()
-				c.route(append(out, more...))
+				c.route(p.shard, append(out, more...))
 				if entered {
-					c.recordEntry(p.id)
+					c.recordEntry(p.shard, p.id)
 				}
 			}
 		case now := <-tick:
@@ -275,35 +300,38 @@ func (c *Cluster) eventLoop(p *proc) {
 			msgs := p.wrap.Fire(now.UnixNano(), p.node)
 			entered, more := p.node.Step()
 			p.mu.Unlock()
-			c.route(append(msgs, more...))
+			c.route(p.shard, append(msgs, more...))
 			if entered {
-				c.recordEntry(p.id)
+				c.recordEntry(p.shard, p.id)
 			}
 		}
 	}
 }
 
-// route dispatches messages onto the transport.
-func (c *Cluster) route(msgs []tme.Message) {
+// route dispatches messages onto the transport, stamping the originating
+// shard into Resource (protocol nodes are shard-blind; the cluster owns
+// the shard dimension).
+func (c *Cluster) route(shard int, msgs []tme.Message) {
 	for _, m := range msgs {
 		if m.From < 0 || m.From >= c.cfg.N || m.To < 0 || m.To >= c.cfg.N || m.From == m.To {
 			continue
 		}
+		m.Resource = shard
 		c.transport.Send(m)
 		c.ins.sent.Inc()
 	}
 }
 
-func (c *Cluster) recordEntry(id int) {
+func (c *Cluster) recordEntry(shard, id int) {
 	c.mu.Lock()
-	e := Entry{ID: id, Seq: len(c.entries), At: time.Now()} //gblint:ignore determinism entry timestamps under the goroutine runtime are wall-clock by definition
+	e := Entry{ID: id, Seq: len(c.entries), Shard: shard, At: time.Now()} //gblint:ignore determinism entry timestamps under the goroutine runtime are wall-clock by definition
 	c.entries = append(c.entries, e)
 	cb := c.onEntry
 	c.mu.Unlock()
 	c.ins.entries.Inc()
 	c.ins.conv.RecordProgress(e.At.UnixNano())
 	if c.ins.trace != nil {
-		c.ins.trace.Emit(obs.Event{Time: e.At.UnixNano(), Kind: obs.EvProgress, A: id, B: -1, N: e.Seq, Detail: "cs-entry"})
+		c.ins.trace.Emit(obs.Event{Time: e.At.UnixNano(), Kind: obs.EvProgress, A: id, B: shard, N: e.Seq, Detail: "cs-entry"})
 	}
 	if cb != nil {
 		cb(e)
@@ -319,10 +347,22 @@ func (c *Cluster) Entries() []Entry {
 	return out
 }
 
-// Request asks process id to request the CS (no-op unless thinking, or
-// when id is not hosted locally).
-func (c *Cluster) Request(id int) {
-	p := c.procs[id]
+// procAt resolves a (shard, id) pair to its local proc, nil when either
+// index is out of range or the id is not hosted locally.
+func (c *Cluster) procAt(shard, id int) *proc {
+	if shard < 0 || shard >= c.cfg.Shards || id < 0 || id >= c.cfg.N {
+		return nil
+	}
+	return c.procs[shard][id]
+}
+
+// Request asks process id to request the CS on shard 0 (no-op unless
+// thinking, or when id is not hosted locally).
+func (c *Cluster) Request(id int) { c.RequestShard(0, id) }
+
+// RequestShard asks process id to request the CS of the given shard.
+func (c *Cluster) RequestShard(shard, id int) {
+	p := c.procAt(shard, id)
 	if p == nil {
 		return
 	}
@@ -330,29 +370,35 @@ func (c *Cluster) Request(id int) {
 	out := p.node.RequestCS()
 	entered, more := p.node.Step()
 	p.mu.Unlock()
-	c.route(append(out, more...))
+	c.route(shard, append(out, more...))
 	if entered {
-		c.recordEntry(id)
+		c.recordEntry(shard, id)
 	}
 }
 
-// Release asks process id to release the CS (no-op unless eating, or when
-// id is not hosted locally).
-func (c *Cluster) Release(id int) {
-	p := c.procs[id]
+// Release asks process id to release the CS on shard 0 (no-op unless
+// eating, or when id is not hosted locally).
+func (c *Cluster) Release(id int) { c.ReleaseShard(0, id) }
+
+// ReleaseShard asks process id to release the CS of the given shard.
+func (c *Cluster) ReleaseShard(shard, id int) {
+	p := c.procAt(shard, id)
 	if p == nil {
 		return
 	}
 	p.mu.Lock()
 	out := p.node.ReleaseCS()
 	p.mu.Unlock()
-	c.route(out)
+	c.route(shard, out)
 }
 
-// Phase returns process id's current phase (the zero Phase when id is not
-// hosted locally).
-func (c *Cluster) Phase(id int) tme.Phase {
-	p := c.procs[id]
+// Phase returns process id's current phase on shard 0 (the zero Phase when
+// id is not hosted locally).
+func (c *Cluster) Phase(id int) tme.Phase { return c.PhaseShard(0, id) }
+
+// PhaseShard returns process id's current phase on the given shard.
+func (c *Cluster) PhaseShard(shard, id int) tme.Phase {
+	p := c.procAt(shard, id)
 	if p == nil {
 		return 0
 	}
@@ -361,10 +407,13 @@ func (c *Cluster) Phase(id int) tme.Phase {
 	return p.node.Phase()
 }
 
-// Snapshot returns process id's spec-level state (zero value when id is
-// not hosted locally).
-func (c *Cluster) Snapshot(id int) tme.SpecState {
-	p := c.procs[id]
+// Snapshot returns process id's spec-level state on shard 0 (zero value
+// when id is not hosted locally).
+func (c *Cluster) Snapshot(id int) tme.SpecState { return c.SnapshotShard(0, id) }
+
+// SnapshotShard returns process id's spec-level state on the given shard.
+func (c *Cluster) SnapshotShard(shard, id int) tme.SpecState {
+	p := c.procAt(shard, id)
 	if p == nil {
 		return tme.SpecState{}
 	}
@@ -373,10 +422,14 @@ func (c *Cluster) Snapshot(id int) tme.SpecState {
 	return tme.Snapshot(p.node)
 }
 
-// Corrupt applies a transient state corruption to process id (fault
-// injection for demos and tests).
-func (c *Cluster) Corrupt(id int, corr tme.Corruption) {
-	p := c.procs[id]
+// Corrupt applies a transient state corruption to process id on shard 0
+// (fault injection for demos and tests).
+func (c *Cluster) Corrupt(id int, corr tme.Corruption) { c.CorruptShard(0, id, corr) }
+
+// CorruptShard applies a transient state corruption to process id on the
+// given shard.
+func (c *Cluster) CorruptShard(shard, id int, corr tme.Corruption) {
+	p := c.procAt(shard, id)
 	if p == nil {
 		return
 	}
@@ -389,3 +442,6 @@ func (c *Cluster) Corrupt(id int, corr tme.Corruption) {
 
 // N returns the number of processes.
 func (c *Cluster) N() int { return c.cfg.N }
+
+// Shards returns the number of protocol instances per process.
+func (c *Cluster) Shards() int { return c.cfg.Shards }

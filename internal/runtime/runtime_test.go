@@ -419,3 +419,53 @@ func TestOnEntryInstallDuringRun(t *testing.T) {
 		t.Fatalf("entries = %d, want 5", got)
 	}
 }
+
+// Two shards are two independent protocol instances: the same process can
+// eat on both simultaneously, entries carry the shard id, and legacy
+// (unsharded) calls address shard 0.
+func TestClusterShardsAreIndependent(t *testing.T) {
+	c, err := NewCluster(Config{
+		N:       3,
+		Shards:  2,
+		Seed:    12,
+		NewNode: func(id, n int) tme.Node { return ra.New(id, n) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Start()
+	defer c.Stop()
+
+	c.RequestShard(0, 0)
+	c.RequestShard(1, 0)
+	ok := waitFor(t, 5*time.Second, func() bool {
+		return c.PhaseShard(0, 0) == tme.Eating && c.PhaseShard(1, 0) == tme.Eating
+	})
+	if !ok {
+		t.Fatalf("node 0 phases = %v/%v, want Eating on both shards",
+			c.PhaseShard(0, 0), c.PhaseShard(1, 0))
+	}
+	// Contention is per shard: node 1 can eat on shard 1 only after node 0
+	// releases there, independent of shard 0's holder.
+	c.RequestShard(1, 1)
+	c.ReleaseShard(1, 0)
+	if !waitFor(t, 5*time.Second, func() bool { return c.PhaseShard(1, 1) == tme.Eating }) {
+		t.Fatal("node 1 never entered shard 1 after the release")
+	}
+	if got := c.PhaseShard(0, 0); got != tme.Eating {
+		t.Fatalf("shard 0 holder disturbed: phase = %v", got)
+	}
+	c.Release(0) // legacy call addresses shard 0
+	if !waitFor(t, 5*time.Second, func() bool { return c.Phase(0) == tme.Thinking }) {
+		t.Fatal("node 0 never released shard 0 via the legacy call")
+	}
+	c.ReleaseShard(1, 1)
+
+	byShard := map[int]int{}
+	for _, e := range c.Entries() {
+		byShard[e.Shard]++
+	}
+	if byShard[0] != 1 || byShard[1] != 2 {
+		t.Fatalf("entries per shard = %v, want map[0:1 1:2]", byShard)
+	}
+}

@@ -217,9 +217,16 @@ type Sim struct {
 	clients  []ClientStream // per-process draw streams; nil without NewClient
 	pending  []int          // open-loop arrivals queued while the client was busy
 	lastReq  []int64        // time of each client's outstanding request (-1 = none)
+	manual   []bool         // nodes whose releases an external coordinator owns
 	metrics  Metrics
 	observer Observer
 	ins      instruments
+
+	// onEntry/onRelease are the sharded coordinator's harvest hooks. They
+	// fire inside the event loop, so in a parallel shard window they must
+	// write only shard-confined state (the coordinator's per-shard buffer).
+	onEntry   func(node int, t int64)
+	onRelease func(node int, t int64)
 
 	// Dirty tracking for incremental snapshots: a version counter per
 	// node, one for the whole network, and a global generation bumped
@@ -311,6 +318,7 @@ func New(cfg Config) *Sim {
 		net:       mesh.Net(),
 		requests:  make([]int, c.N),
 		relPend:   make([]bool, c.N),
+		manual:    make([]bool, c.N),
 		verGlobal: 1,
 		verNodes:  make([]uint64, c.N),
 	}
@@ -353,6 +361,45 @@ func New(cfg Config) *Sim {
 
 // SetObserver installs the per-event observer (nil to remove).
 func (s *Sim) SetObserver(o Observer) { s.observer = o }
+
+// SetEntryHook installs a callback fired on every CS entry (nil to
+// remove). The sharded coordinator harvests entries through it; during a
+// parallel shard window the hook must touch only shard-confined state.
+func (s *Sim) SetEntryHook(fn func(node int, t int64)) { s.onEntry = fn }
+
+// SetReleaseHook installs a callback fired on every release event —
+// including releases a fault already emptied (the node is free either
+// way, which is what a coordinator needs to know). Same confinement rule
+// as SetEntryHook.
+func (s *Sim) SetReleaseHook(fn func(node int, t int64)) { s.onRelease = fn }
+
+// SetManualRelease transfers ownership of node i's releases to an external
+// coordinator: while set, a CS entry does not auto-schedule the workload
+// release, so the node holds its shard until ReleaseAt. The hierarchical
+// (cross-shard) path uses this to keep earlier shards of a lock set held
+// while later ones are acquired.
+func (s *Sim) SetManualRelease(i int, on bool) { s.manual[i] = on }
+
+// RequestAt schedules node i's "Request CS" action at absolute virtual
+// time t (clamped to now for past times), as a typed event. External
+// coordinators use it to admit arrivals into a barrier window.
+func (s *Sim) RequestAt(t int64, i int) {
+	d := t - s.core.Now()
+	if d < 0 {
+		d = 0
+	}
+	s.core.Schedule(d, evRequest, int32(i), 0)
+}
+
+// ReleaseAt schedules node i's "Release CS" action at absolute virtual
+// time t (clamped to now), as a typed event.
+func (s *Sim) ReleaseAt(t int64, i int) {
+	d := t - s.core.Now()
+	if d < 0 {
+		d = 0
+	}
+	s.core.Schedule(d, evRelease, int32(i), 0)
+}
 
 // Now returns the current virtual time.
 func (s *Sim) Now() int64 { return s.core.Now() }
@@ -516,7 +563,10 @@ func (s *Sim) afterEventAt(i int) {
 			}
 			s.ins.fair.RecordEntry(i, lat)
 		}
-		if s.cfg.Workload && !s.relPend[i] {
+		if s.onEntry != nil {
+			s.onEntry(i, now)
+		}
+		if s.cfg.Workload && !s.relPend[i] && !s.manual[i] {
 			s.relPend[i] = true
 			s.core.Schedule(s.holdTimeAt(i), evRelease, int32(i), 0)
 		}
@@ -563,7 +613,7 @@ func (s *Sim) clientTick(i int) {
 		case tme.Thinking:
 			s.doRequest(i)
 		case tme.Eating:
-			if !s.relPend[i] {
+			if !s.relPend[i] && !s.manual[i] {
 				s.release(i) // audit: a fault moved the phase mid-meal
 			}
 			s.pending[i]++
@@ -582,7 +632,7 @@ func (s *Sim) clientTick(i int) {
 		}
 		s.doRequest(i)
 	case tme.Eating:
-		if !s.relPend[i] {
+		if !s.relPend[i] && !s.manual[i] {
 			s.release(i)
 		}
 	case tme.Hungry:
@@ -616,6 +666,9 @@ func (s *Sim) doRequest(i int) {
 //gblint:hotpath
 func (s *Sim) release(i int) {
 	s.relPend[i] = false
+	if s.onRelease != nil {
+		s.onRelease(i, s.core.Now())
+	}
 	if s.nodes[i].Phase() != tme.Eating {
 		return // a fault moved the phase; nothing to release
 	}

@@ -90,10 +90,19 @@ type Message struct {
 	TS ltime.Timestamp
 	// From and To are the source and destination process ids.
 	From, To int
+	// Resource is the shard (critical section) this message belongs to.
+	// Each shard runs an independent protocol instance; substrates route
+	// inbound messages to the instance named here. The single-CS system of
+	// the paper is shard 0, which keeps legacy frames byte-identical.
+	Resource int
 }
 
-// String renders the message compactly, e.g. "request(3.1) 1->2".
+// String renders the message compactly, e.g. "request(3.1) 1->2"; sharded
+// messages append the resource id, e.g. "request(3.1) 1->2 @2".
 func (m Message) String() string {
+	if m.Resource != 0 {
+		return fmt.Sprintf("%s(%s) %d->%d @%d", m.Kind, m.TS, m.From, m.To, m.Resource)
+	}
 	return fmt.Sprintf("%s(%s) %d->%d", m.Kind, m.TS, m.From, m.To)
 }
 

@@ -1,6 +1,8 @@
 package wire
 
 import (
+	"encoding/binary"
+	"hash/fnv"
 	"math/rand"
 	"sync"
 	"time"
@@ -31,6 +33,11 @@ type Link interface {
 type ChaosConfig struct {
 	// N is the cluster size (required).
 	N int
+	// Shards is how many protocol instances share the wire (default 1).
+	// Each shard gets its own delay-draw rng keyed off Seed, so one shard's
+	// traffic volume cannot shift the delays another shard sees; shard 0
+	// uses Seed directly, keeping unsharded draw sequences unchanged.
+	Shards int
 	// Seed drives the proxy's delay draws.
 	Seed int64
 	// MinDelay/MaxDelay bound the per-message hold time. The hold window
@@ -44,6 +51,9 @@ type ChaosConfig struct {
 }
 
 func (c ChaosConfig) withDefaults() ChaosConfig {
+	if c.Shards <= 0 {
+		c.Shards = 1
+	}
 	if c.MinDelay <= 0 {
 		c.MinDelay = 500 * time.Microsecond
 	}
@@ -105,7 +115,7 @@ type Chaos struct {
 	ins chaosInstruments
 
 	mu       sync.Mutex
-	rng      *rand.Rand                        //gblint:guardedby mu
+	rngs     []*rand.Rand                      //gblint:guardedby mu -- one delay stream per shard
 	queues   [][]chaosEntry                    //gblint:guardedby mu -- indexed by edge (src-major, self-edges omitted)
 	isolated []bool                            //gblint:guardedby mu
 	oneWay   bool                              //gblint:guardedby mu -- isolation drops only group→rest (gray asymmetric cut)
@@ -124,11 +134,14 @@ func NewChaos(cfg ChaosConfig) *Chaos {
 	c := &Chaos{
 		cfg:      cfg2,
 		ins:      newChaosInstruments(cfg2.Obs),
-		rng:      rand.New(rand.NewSource(cfg2.Seed)),
+		rngs:     make([]*rand.Rand, cfg2.Shards),
 		queues:   make([][]chaosEntry, cfg2.N*(cfg2.N-1)),
 		isolated: make([]bool, cfg2.N),
 		kick:     make(chan struct{}, 1),
 		stop:     make(chan struct{}),
+	}
+	for s := range c.rngs {
+		c.rngs[s] = rand.New(rand.NewSource(chaosShardSeed(cfg2.Seed, s)))
 	}
 	for s := 0; s < cfg2.N; s++ {
 		for d := 0; d < cfg2.N; d++ {
@@ -246,18 +259,39 @@ func (c *Chaos) submit(m tme.Message, out Link) {
 	}
 }
 
-// hold draws the delay and appends the entry under the lock; false when
-// the proxy is closed.
+// chaosShardSeed derives shard s's delay-stream seed. Shard 0 returns the
+// base seed unchanged (unsharded runs keep their historical draw
+// sequences); later shards mix the shard id through FNV-1a.
+func chaosShardSeed(seed int64, s int) int64 {
+	if s == 0 {
+		return seed
+	}
+	h := fnv.New64a()
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], uint64(s))
+	_, _ = h.Write([]byte("chaos/shard/"))
+	_, _ = h.Write(b[:])
+	return seed ^ int64(h.Sum64())
+}
+
+// hold draws the delay from the message's shard stream and appends the
+// entry under the lock; false when the proxy is closed. A Resource outside
+// the configured shard range (corruption, unsharded senders) falls back to
+// stream 0.
 func (c *Chaos) hold(idx int, m tme.Message, out Link) bool {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.closed {
 		return false
 	}
+	rng := c.rngs[0]
+	if m.Resource > 0 && m.Resource < len(c.rngs) {
+		rng = c.rngs[m.Resource]
+	}
 	span := int64(c.cfg.MaxDelay - c.cfg.MinDelay)
 	delay := int64(c.cfg.MinDelay)
 	if span > 0 {
-		delay += c.rng.Int63n(span + 1)
+		delay += rng.Int63n(span + 1)
 	}
 	c.queues[idx] = append(c.queues[idx], chaosEntry{m: m, due: nowNS() + delay, out: out})
 	return true

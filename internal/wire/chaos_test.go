@@ -181,3 +181,48 @@ func TestChaosChannelsDeterministicOrder(t *testing.T) {
 		}
 	}
 }
+
+// Per-shard delay streams: shard 0 keeps the historical seed (unsharded
+// draw sequences replay exactly), other shards get distinct deterministic
+// seeds, and a sharded proxy still releases FIFO per edge with every
+// shard's traffic intact.
+func TestChaosShardStreams(t *testing.T) {
+	if got := chaosShardSeed(7, 0); got != 7 {
+		t.Fatalf("shard 0 seed = %d, want the base seed unchanged", got)
+	}
+	seen := map[int64]bool{}
+	for s := 0; s < 8; s++ {
+		seed := chaosShardSeed(7, s)
+		if seen[seed] {
+			t.Fatalf("shard %d collides with an earlier shard's seed", s)
+		}
+		seen[seed] = true
+		if seed != chaosShardSeed(7, s) {
+			t.Fatalf("shard %d seed not deterministic", s)
+		}
+	}
+
+	ch := NewChaos(ChaosConfig{
+		N: 2, Shards: 4, Seed: 7,
+		MinDelay: time.Millisecond, MaxDelay: 5 * time.Millisecond,
+	})
+	defer ch.Close()
+	next := &fakeLink{}
+	link := ch.Pipe(next)
+	const n = 24
+	for i := 0; i < n; i++ {
+		link.Send(tme.Message{
+			Kind: tme.Request, TS: ltime.Timestamp{Clock: uint64(i)},
+			From: 0, To: 1, Resource: i % 4,
+		})
+	}
+	got := next.c.waitLen(t, n, 5*time.Second)
+	for i, m := range got {
+		if m.TS.Clock != uint64(i) {
+			t.Fatalf("release %d = %+v (per-edge FIFO broken by sharding)", i, m)
+		}
+		if m.Resource != i%4 {
+			t.Fatalf("release %d lost its shard id: %+v", i, m)
+		}
+	}
+}

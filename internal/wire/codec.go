@@ -30,7 +30,7 @@ import (
 //	0       4     payload length (uint32; 24 for v1)
 //	4       1     version (1)
 //	5       1     message kind (tme.Kind; forged values round-trip)
-//	6       2     flags (must be zero in v1)
+//	6       2     resource shard id (uint16; 0 = the single legacy shard)
 //	8       8     timestamp clock (uint64)
 //	16      4     timestamp pid (int32)
 //	20      4     from (int32)
@@ -59,7 +59,6 @@ var (
 	ErrPayloadTooLarge = errors.New("wire: payload length exceeds MaxPayload")
 	ErrBadVersion      = errors.New("wire: unsupported frame version")
 	ErrBadLength       = errors.New("wire: payload length wrong for version")
-	ErrBadFlags        = errors.New("wire: nonzero flags in v1 frame")
 	ErrFieldRange      = errors.New("wire: message field outside encodable range")
 )
 
@@ -77,11 +76,14 @@ func AppendFrame(dst []byte, m tme.Message) ([]byte, error) {
 	if !fitsInt32(m.TS.PID) || !fitsInt32(m.From) || !fitsInt32(m.To) {
 		return dst, errIDRange(m.TS.PID, m.From, m.To)
 	}
+	if m.Resource < 0 || m.Resource > math.MaxUint16 {
+		return dst, errResourceRange(m.Resource)
+	}
 	var b [FrameSize]byte
 	binary.BigEndian.PutUint32(b[0:4], payloadV1Size)
 	b[4] = Version
 	b[5] = byte(m.Kind)
-	binary.BigEndian.PutUint16(b[6:8], 0)
+	binary.BigEndian.PutUint16(b[6:8], uint16(m.Resource))
 	binary.BigEndian.PutUint64(b[8:16], m.TS.Clock)
 	binary.BigEndian.PutUint32(b[16:20], uint32(int32(m.TS.PID)))
 	binary.BigEndian.PutUint32(b[20:24], uint32(int32(m.From)))
@@ -105,17 +107,15 @@ func DecodePayload(p []byte) (tme.Message, error) {
 	if len(p) != payloadV1Size {
 		return tme.Message{}, errBadLengthBytes(len(p))
 	}
-	if binary.BigEndian.Uint16(p[2:4]) != 0 {
-		return tme.Message{}, ErrBadFlags
-	}
 	return tme.Message{
 		Kind: tme.Kind(p[1]),
 		TS: ltime.Timestamp{
 			Clock: binary.BigEndian.Uint64(p[4:12]),
 			PID:   int(int32(binary.BigEndian.Uint32(p[12:16]))),
 		},
-		From: int(int32(binary.BigEndian.Uint32(p[16:20]))),
-		To:   int(int32(binary.BigEndian.Uint32(p[20:24]))),
+		From:     int(int32(binary.BigEndian.Uint32(p[16:20]))),
+		To:       int(int32(binary.BigEndian.Uint32(p[20:24]))),
+		Resource: int(binary.BigEndian.Uint16(p[2:4])),
 	}, nil
 }
 
@@ -198,6 +198,10 @@ func errKindRange(k tme.Kind) error {
 
 func errIDRange(pid, from, to int) error {
 	return fmt.Errorf("%w: pid/from/to (%d,%d,%d)", ErrFieldRange, pid, from, to)
+}
+
+func errResourceRange(r int) error {
+	return fmt.Errorf("%w: resource %d", ErrFieldRange, r)
 }
 
 func errBadVersion(v byte) error {

@@ -21,6 +21,9 @@ func sampleMessages() []tme.Message {
 		// Forged kinds and out-of-range ids round-trip: the fault model
 		// manufactures them and receivers are responsible for dropping.
 		{Kind: tme.Kind(0xEE), TS: ltime.Timestamp{Clock: 7, PID: -1}, From: -5, To: 99},
+		// Sharded messages carry a resource id (the old v1 flags field).
+		{Kind: tme.Request, TS: ltime.Timestamp{Clock: 9, PID: 2}, From: 2, To: 0, Resource: 3},
+		{Kind: tme.Release, TS: ltime.Timestamp{Clock: 10, PID: 1}, From: 1, To: 2, Resource: math.MaxUint16},
 	}
 }
 
@@ -50,6 +53,8 @@ func TestAppendFrameRejectsUnencodable(t *testing.T) {
 		{From: math.MaxInt32 + 1},
 		{To: math.MinInt32 - 1},
 		{TS: ltime.Timestamp{PID: math.MaxInt32 + 1}},
+		{Resource: -1},
+		{Resource: math.MaxUint16 + 1},
 	}
 	for _, m := range bad {
 		if _, err := AppendFrame(nil, m); !errors.Is(err, ErrFieldRange) {
@@ -74,16 +79,35 @@ func TestDecodePayloadRejectsMalformed(t *testing.T) {
 		{"short", payload[:10], ErrBadLength},
 		{"long", append(append([]byte{}, payload...), 0), ErrBadLength},
 		{"version", append([]byte{9}, payload[1:]...), ErrBadVersion},
-		{"flags", func() []byte {
-			p := append([]byte{}, payload...)
-			p[3] = 1
-			return p
-		}(), ErrBadFlags},
 	}
 	for _, c := range cases {
 		if _, err := DecodePayload(c.p); !errors.Is(err, c.want) {
 			t.Errorf("%s: err = %v, want %v", c.name, err, c.want)
 		}
+	}
+}
+
+// TestResourceZeroFrameUnchanged pins the sharding refactor's interop
+// contract: a resource-0 message encodes to the exact bytes the pre-shard
+// codec produced (the resource field reuses the old always-zero flags
+// bytes), so -shards 1 clusters are wire-compatible with old peers.
+func TestResourceZeroFrameUnchanged(t *testing.T) {
+	m := tme.Message{Kind: tme.Request, TS: ltime.Timestamp{Clock: 42, PID: 3}, From: 3, To: 0}
+	b, err := AppendFrame(nil, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b[6] != 0 || b[7] != 0 {
+		t.Errorf("resource-0 frame has nonzero bytes at the old flags offset: % x", b[6:8])
+	}
+	shifted := m
+	shifted.Resource = 5
+	sb, err := AppendFrame(nil, shifted)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := binary.BigEndian.Uint16(sb[6:8]); got != 5 {
+		t.Errorf("resource bytes = %d, want 5", got)
 	}
 }
 

@@ -8,6 +8,7 @@
 //	ts.pid      uvarint  field tag (see below)
 //	from        uvarint  field tag
 //	to          uvarint  field tag
+//	resource    uvarint  field tag (shard id; 0 in unsharded clusters)
 //
 // A field tag is either an intern-table reference, tag = slot<<1, or a
 // literal, tag = zigzag(value)<<1 | 1. Every literal is inserted into a
@@ -43,9 +44,9 @@ const (
 	// working set of any plausible cluster while keeping the encoder's
 	// linear scan trivially cache-resident.
 	internSlots = 64
-	// maxV2Frame bounds one encoded v2 frame: kind byte plus four
+	// maxV2Frame bounds one encoded v2 frame: kind byte plus five
 	// maximal 10-byte varints.
-	maxV2Frame = 1 + 4*binary.MaxVarintLen64
+	maxV2Frame = 1 + 5*binary.MaxVarintLen64
 )
 
 // ErrV2BadRef is returned when a v2 frame references an intern-table slot
@@ -102,6 +103,9 @@ func (e *V2Encoder) AppendFrame(dst []byte, m tme.Message) ([]byte, error) {
 	if !fitsInt32(m.TS.PID) || !fitsInt32(m.From) || !fitsInt32(m.To) {
 		return dst, errIDRange(m.TS.PID, m.From, m.To)
 	}
+	if !fitsInt32(m.Resource) {
+		return dst, errResourceRange(m.Resource)
+	}
 	dst = append(dst, byte(m.Kind))
 	delta := m.TS.Clock - e.prevClock // uint64 wraparound is the contract
 	dst = binary.AppendUvarint(dst, zigzag(int64(delta)))
@@ -109,6 +113,7 @@ func (e *V2Encoder) AppendFrame(dst []byte, m tme.Message) ([]byte, error) {
 	dst = e.appendID(dst, int32(m.TS.PID))
 	dst = e.appendID(dst, int32(m.From))
 	dst = e.appendID(dst, int32(m.To))
+	dst = e.appendID(dst, int32(m.Resource))
 	return dst, nil
 }
 
@@ -176,12 +181,17 @@ func (r *V2Reader) ReadMessage() (tme.Message, error) {
 	if err != nil {
 		return tme.Message{}, err
 	}
+	res, err := r.readID()
+	if err != nil {
+		return tme.Message{}, err
+	}
 	r.prevClock = clock
 	return tme.Message{
-		Kind: tme.Kind(kind),
-		TS:   ltime.Timestamp{Clock: clock, PID: int(pid)},
-		From: int(from),
-		To:   int(to),
+		Kind:     tme.Kind(kind),
+		TS:       ltime.Timestamp{Clock: clock, PID: int(pid)},
+		From:     int(from),
+		To:       int(to),
+		Resource: int(res),
 	}, nil
 }
 

@@ -66,8 +66,8 @@ func TestV2SteadyStateFrameIsTiny(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	if len(b) > 6 {
-		t.Errorf("steady-state v2 frame = %d bytes, want <= 6 (kind + 4 one-byte varints)", len(b))
+	if len(b) > 7 {
+		t.Errorf("steady-state v2 frame = %d bytes, want <= 7 (kind + 5 one-byte varints)", len(b))
 	}
 }
 
