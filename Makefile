@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build lint test race test-race cover bench bench-baseline bench-compare experiments examples fuzz soak clean
+.PHONY: all build lint test race test-race cover bench bench-baseline bench-compare bench-history experiments examples fuzz soak parity clean
 
 all: build test test-race
 
@@ -26,10 +26,11 @@ race:
 
 # Focused race pass over the concurrent packages (the goroutine runtime, the
 # wire layer's sockets and chaos proxy, the observability instruments they
-# publish to, and the harness's parallel sweep, which must equal a
-# sequential sweep bit-for-bit).
+# publish to, the hierarchical monitor the sharded substrate's cores share,
+# and the harness's parallel sweep, which must equal a sequential sweep
+# bit-for-bit).
 test-race:
-	$(GO) test -race ./internal/runtime/... ./internal/wire/... ./internal/obs/...
+	$(GO) test -race ./internal/runtime/... ./internal/wire/... ./internal/obs/... ./internal/hme/...
 	$(GO) test -race -run ParMap ./internal/harness/
 
 # Race-enabled soak: a 5-node live TCP loopback cluster under the seeded
@@ -42,6 +43,13 @@ soak:
 	$(GO) run -race ./cmd/gbload -n 5 -duration 10s -seed 1 -v2 0 -check
 	$(GO) run -race ./cmd/gbload -n 5 -duration 10s -seed 1 -workload bursty -scenario gray-burst -check
 	$(GO) run -race ./cmd/gbload -n 8 -shards 4 -duration 10s -seed 1 -check
+
+# E18 sim-to-real parity gate: one seeded workload on the tick simulator AND
+# a TCP-loopback live cluster, diffed against each other and the analytical
+# twin's prediction. Fails on semantic divergence (entry/request counts
+# beyond ±20%, any safety violation, non-convergence).
+parity:
+	$(GO) run ./cmd/experiments -only E18 -check
 
 cover:
 	$(GO) test -cover ./...
@@ -58,7 +66,12 @@ bench-baseline:
 # the CI bench-gate: ns/op is environment-sensitive across machines, so
 # allocs/op and bytes/op are the stable signals to watch in the diff table.
 bench-compare:
-	$(GO) run ./cmd/bench -out BENCH_PR9.json -compare BENCH_PR8.json -tolerance 0.15 -fail-tolerance 1.0
+	$(GO) run ./cmd/bench -out BENCH_PR10.json -compare BENCH_PR9.json -tolerance 0.15 -fail-tolerance 1.0
+
+# Walk every committed BENCH_*.json and print the ns/op and allocs/op trend
+# across the PR timeline.
+bench-history:
+	$(GO) run ./cmd/bench -history
 
 # Regenerate every experiment table of EXPERIMENTS.md (full scale ≈ 30 min).
 experiments:

@@ -29,6 +29,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"sort"
 	"strings"
 	"testing"
@@ -52,8 +53,13 @@ func run(args []string, out, errOut io.Writer) error {
 	tolerance := fs.Float64("tolerance", 0.15, "relative ns/op or allocs/op growth reported as a regression")
 	failTolerance := fs.Float64("fail-tolerance", 0, "growth beyond which the run fails (0 = same as -tolerance; set higher to make smaller regressions advisory)")
 	benchtime := fs.String("benchtime", "", `benchmark time budget per benchmark, as accepted by go test (e.g. "2s", "10x")`)
+	history := fs.Bool("history", false, "print the ns/op and allocs/op trend across committed BENCH_*.json snapshots instead of benchmarking")
+	historyDir := fs.String("history-dir", ".", "directory scanned for BENCH_*.json when -history is set")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *history {
+		return runHistory(*historyDir, out)
 	}
 	if *benchtime != "" {
 		// testing.Benchmark reads the test.benchtime flag; register the
@@ -221,6 +227,95 @@ func run(args []string, out, errOut io.Writer) error {
 			hard, failTol*100, *comparePath)
 	}
 	return nil
+}
+
+// runHistory walks the committed BENCH_*.json snapshots in dir and prints
+// one ns/op and one allocs/op trend table: a column per snapshot in PR
+// order, a row per benchmark — the perf trajectory without manual diffing.
+func runHistory(dir string, out io.Writer) error {
+	paths, err := filepath.Glob(filepath.Join(dir, "BENCH_*.json"))
+	if err != nil {
+		return err
+	}
+	if len(paths) == 0 {
+		return fmt.Errorf("no BENCH_*.json snapshots in %s", dir)
+	}
+	sort.Slice(paths, func(i, j int) bool {
+		ri, rj := historyRank(paths[i]), historyRank(paths[j])
+		if ri != rj {
+			return ri < rj
+		}
+		return paths[i] < paths[j]
+	})
+	snaps := make([]*obs.Snapshot, len(paths))
+	tags := make([]string, len(paths))
+	for i, p := range paths {
+		if snaps[i], err = loadSnapshot(p); err != nil {
+			return fmt.Errorf("load %s: %w", p, err)
+		}
+		tags[i] = strings.TrimSuffix(strings.TrimPrefix(filepath.Base(p), "BENCH_"), ".json")
+	}
+
+	// Benchmarks are the union of *_ns_op gauges, in sorted order.
+	seen := map[string]bool{}
+	var benches []string
+	for _, s := range snaps {
+		for name := range s.Gauges {
+			if base, ok := strings.CutSuffix(name, "_ns_op"); ok && !seen[base] {
+				seen[base] = true
+				benches = append(benches, base)
+			}
+		}
+	}
+	sort.Strings(benches)
+
+	for _, metric := range []string{"ns_op", "allocs_op"} {
+		fmt.Fprintf(out, "%s trend:\n", strings.ReplaceAll(metric, "_", "/"))
+		fmt.Fprintf(out, "%-34s", "benchmark")
+		for _, tag := range tags {
+			fmt.Fprintf(out, " %12s", tag)
+		}
+		fmt.Fprintln(out)
+		for _, base := range benches {
+			fmt.Fprintf(out, "%-34s", base)
+			for _, s := range snaps {
+				if v, ok := s.Gauges[base+"_"+metric]; ok {
+					fmt.Fprintf(out, " %12d", v)
+				} else {
+					fmt.Fprintf(out, " %12s", "-")
+				}
+			}
+			fmt.Fprintln(out)
+		}
+		fmt.Fprintln(out)
+	}
+	return nil
+}
+
+// historyRank orders snapshot files along the PR timeline: the seed
+// BASELINE first, then PR numbers ascending, with a _PRE variant just
+// before its PR (PR7_PRE is the pre-optimization measurement of PR 7).
+// Unrecognized tags sort last, alphabetically.
+func historyRank(path string) int64 {
+	tag := strings.TrimSuffix(strings.TrimPrefix(filepath.Base(path), "BENCH_"), ".json")
+	if tag == "BASELINE" {
+		return 0
+	}
+	pre := false
+	if t, ok := strings.CutSuffix(tag, "_PRE"); ok {
+		tag, pre = t, true
+	}
+	if num, ok := strings.CutPrefix(tag, "PR"); ok {
+		var n int64
+		if _, err := fmt.Sscanf(num, "%d", &n); err == nil {
+			r := n * 2
+			if !pre {
+				r++
+			}
+			return r
+		}
+	}
+	return 1 << 30
 }
 
 // loadSnapshot reads a previously written metrics snapshot.

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
@@ -141,6 +142,58 @@ func TestSanitize(t *testing.T) {
 		if got := sanitize(in); got != want {
 			t.Errorf("sanitize(%q) = %q, want %q", in, got, want)
 		}
+	}
+}
+
+func TestHistoryRank(t *testing.T) {
+	// The PR timeline: BASELINE, then PR numbers ascending, a _PRE
+	// variant just before its PR.
+	ordered := []string{
+		"BENCH_BASELINE.json", "BENCH_PR2.json", "BENCH_PR7_PRE.json",
+		"BENCH_PR7.json", "BENCH_PR9.json", "BENCH_PR10.json",
+	}
+	for i := 1; i < len(ordered); i++ {
+		if historyRank(ordered[i-1]) >= historyRank(ordered[i]) {
+			t.Errorf("%s should rank before %s", ordered[i-1], ordered[i])
+		}
+	}
+	// Unrecognized tags sort after every PR.
+	if historyRank("BENCH_EXPERIMENT.json") <= historyRank("BENCH_PR99.json") {
+		t.Error("unknown tag should sort last")
+	}
+}
+
+func TestRunHistory(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name, json string) {
+		t.Helper()
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(json), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("BENCH_BASELINE.json", `{"counters":{},"gauges":{"bench_x_ns_op":1000,"bench_x_allocs_op":50}}`)
+	write("BENCH_PR10.json", `{"counters":{},"gauges":{"bench_x_ns_op":800,"bench_x_allocs_op":40,"bench_y_ns_op":7}}`)
+	write("BENCH_PR2.json", `{"counters":{},"gauges":{"bench_x_ns_op":900,"bench_x_allocs_op":45}}`)
+
+	var b strings.Builder
+	if err := runHistory(dir, &b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	// Column order follows the PR timeline, not lexical order (PR10 last).
+	base := strings.Index(out, "BASELINE")
+	pr2 := strings.Index(out, "PR2")
+	pr10 := strings.Index(out, "PR10")
+	if base < 0 || pr2 < 0 || pr10 < 0 || !(base < pr2 && pr2 < pr10) {
+		t.Errorf("columns out of timeline order:\n%s", out)
+	}
+	for _, want := range []string{"ns/op trend", "allocs/op trend", "bench_x", "bench_y", "1000", "800", "-"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("history output missing %q:\n%s", want, out)
+		}
+	}
+	if err := runHistory(t.TempDir(), io.Discard); err == nil {
+		t.Error("empty directory should be an error")
 	}
 }
 

@@ -35,8 +35,9 @@ func run(args []string, out io.Writer) error {
 	scaleName := fs.String("scale", "quick", "sweep scale: quick or full")
 	markdown := fs.Bool("markdown", false, "emit GitHub-flavored markdown tables")
 	csvOut := fs.Bool("csv", false, "emit CSV (one table after another, titles as comments)")
-	only := fs.String("only", "", "run a single experiment (E1..E17)")
+	only := fs.String("only", "", "run a single experiment (E1..E18)")
 	jsonPath := fs.String("json", "", `write per-experiment merged obs snapshots as JSON to this file ("-" = stdout)`)
+	check := fs.Bool("check", false, "exit non-zero when a gate experiment (E18 parity) diverges")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -54,6 +55,16 @@ func run(args []string, out io.Writer) error {
 	ids, builders := selectExperiments(scale, strings.ToUpper(*only))
 	if len(ids) == 0 {
 		return fmt.Errorf("no experiment matches %q", *only)
+	}
+	// E18 is a gate, not just a table: rebind its builder to capture the
+	// verdict so -check can fail the process on divergence.
+	gateOK := true
+	builders["E18"] = func() *harness.Table {
+		t, ok := harness.ParityGate(scale)
+		if !ok {
+			gateOK = false
+		}
+		return t
 	}
 	results := make(map[string]*expResult, len(ids))
 	for _, id := range ids {
@@ -80,7 +91,12 @@ func run(args []string, out io.Writer) error {
 		}
 	}
 	if *jsonPath != "" {
-		return writeResults(*jsonPath, out, results)
+		if err := writeResults(*jsonPath, out, results); err != nil {
+			return err
+		}
+	}
+	if *check && !gateOK {
+		return fmt.Errorf("E18 parity gate diverged (see table above)")
 	}
 	return nil
 }
@@ -129,6 +145,7 @@ func selectExperiments(scale harness.Scale, only string) ([]string, map[string]f
 		"E15": func() *harness.Table { return harness.LiveCluster(scale) },
 		"E16": func() *harness.Table { return harness.WorkloadMatrix(scale) },
 		"E17": func() *harness.Table { return harness.ShardScale(scale) },
+		"E18": func() *harness.Table { t, _ := harness.ParityGate(scale); return t },
 	}
 	if only != "" {
 		if _, ok := builders[only]; !ok {
@@ -136,5 +153,5 @@ func selectExperiments(scale harness.Scale, only string) ([]string, map[string]f
 		}
 		return []string{only}, builders
 	}
-	return []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14", "E15", "E16", "E17"}, builders
+	return []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14", "E15", "E16", "E17", "E18"}, builders
 }

@@ -39,6 +39,7 @@ import (
 	"github.com/graybox-stabilization/graybox/internal/harness"
 	"github.com/graybox-stabilization/graybox/internal/obs"
 	"github.com/graybox-stabilization/graybox/internal/scenario"
+	"github.com/graybox-stabilization/graybox/internal/twin"
 	"github.com/graybox-stabilization/graybox/internal/wire"
 	"github.com/graybox-stabilization/graybox/internal/workload"
 )
@@ -186,6 +187,7 @@ func run(args []string, out, errOut io.Writer) error {
 	}
 
 	recordResult(o.Registry(), res)
+	pred := predictRun(o.Registry(), cfg, a, wspec)
 	fmt.Fprintf(status, "gbload: %d entries (%.0f/s), p50/p95/p99 %d/%d/%d µs, %d faults, %d violations (%d after convergence), converged=%v in %dms\n",
 		res.Entries, res.ThroughputPerSec,
 		res.LatP50US, res.LatP95US, res.LatP99US,
@@ -195,6 +197,15 @@ func run(args []string, out, errOut io.Writer) error {
 		return err
 	}
 	if *check {
+		if pred != nil {
+			drift := "n/a"
+			if pred.Entries > 0 {
+				drift = fmt.Sprintf("%+.1f%%", 100*(float64(res.Entries)-pred.Entries)/pred.Entries)
+			}
+			fmt.Fprintf(status, "gbload: twin predicted %.0f entries for the fault-free run (observed %d, %s), %.1f msgs/entry, saturation %.0f entries/s\n",
+				pred.Entries, res.Entries, drift,
+				pred.MsgsPerEntry, pred.SaturationRate*1000)
+		}
 		if !res.Converged {
 			return fmt.Errorf("check failed: cluster did not converge (last fault at %dms)", res.LastFaultMS)
 		}
@@ -204,6 +215,43 @@ func run(args []string, out, errOut io.Writer) error {
 		fmt.Fprintln(status, "gbload: check passed (converged, zero post-convergence violations)")
 	}
 	return nil
+}
+
+// predictRun asks the analytical twin for the fault-free forecast of this
+// run's workload (1 tick = 1ms live; link delays modeled at the chaos
+// proxy's default 1–3ms band) and publishes it as gbload_twin_* gauges so
+// the snapshot carries predicted next to observed. Trace replays have no
+// closed form, so they get no prediction (nil).
+func predictRun(r *obs.Registry, cfg harness.LiveConfig, a harness.Algo, wspec *workload.Spec) *twin.Prediction {
+	if cfg.WorkloadTrace != nil {
+		return nil
+	}
+	spec := workload.UniformSpec(
+		int64(harness.DefaultThinkMin/harness.LiveTick),
+		int64(harness.DefaultThinkMax/harness.LiveTick),
+		int64(harness.DefaultEatTime/harness.LiveTick))
+	if wspec != nil {
+		spec = *wspec
+	}
+	delta := int64(cfg.Delta / harness.LiveTick)
+	switch {
+	case cfg.Delta < 0:
+		delta = -1
+	case cfg.Delta == 0:
+		delta = 25 // RunLive's default W' timeout
+	case delta == 0:
+		delta = 1 // sub-millisecond timeout still is a wrapper
+	}
+	pred := twin.Predict(twin.SpecParams(twin.Params{
+		N: cfg.N, Shards: cfg.Shards, Algo: a.String(),
+		Delta: delta, MinDelay: 1, MaxDelay: 3,
+		Horizon: int64(cfg.Duration / harness.LiveTick),
+	}, spec))
+	set := func(name, help string, v int64) { r.Gauge(name, help).Set(v) }
+	set("gbload_twin_entries_predicted", "twin forecast of fault-free CS entries", int64(pred.Entries+0.5))
+	set("gbload_twin_msgs_per_entry_x1000", "twin forecast of program msgs per entry (×1000)", int64(pred.MsgsPerEntry*1000+0.5))
+	set("gbload_twin_saturation_per_sec", "twin forecast of the entry-rate ceiling (entries/s)", int64(pred.SaturationRate*1000+0.5))
+	return &pred
 }
 
 // schedLen reports the event count of a possibly-nil schedule (scenario

@@ -1,0 +1,238 @@
+// Sim-to-real parity gate (E18): one seeded workload runs on the
+// deterministic simulator AND the loopback live TCP cluster, both runs are
+// projected onto a shared semantic snapshot (CS entries, requests, sampled
+// ME1 violations, spec violations, convergence ticks), and the projections
+// are diffed against each other and against the analytical twin's
+// prediction under stated per-metric tolerances. Any divergence fails the
+// gate — this is the regression net that lets substrates refactor
+// aggressively: a change that shifts *semantics* (not timings) on one
+// substrate breaks the build.
+//
+// The parity workload is deliberately think-dominated. The substrates'
+// client loops differ mechanically — the sim client polls (a request rides
+// the first think tick that finds the process thinking), the live driver
+// blocks on entry — so their cycles only coincide when request latency and
+// hold are small against the think draw. There the cycle is the think time
+// on every substrate, counts become substrate-invariant, and the gate can
+// afford tight tolerances. Safety metrics carry zero tolerance
+// unconditionally: a clean run must be clean everywhere.
+package harness
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/graybox-stabilization/graybox/internal/obs"
+	"github.com/graybox-stabilization/graybox/internal/twin"
+	"github.com/graybox-stabilization/graybox/internal/workload"
+)
+
+// ParityConfig parameterizes one E18 parity run.
+type ParityConfig struct {
+	// N is the cluster size (default 3).
+	N int
+	// Seed drives the workload draws, the sim schedule, and the live
+	// chaos proxy.
+	Seed int64
+	// Delta is the W' timeout in ticks (default 25); the live cluster
+	// reads ticks as LiveTick (1ms).
+	Delta int64
+	// Horizon is the run length in ticks; the live run lasts
+	// Horizon×LiveTick (default 1500).
+	Horizon int64
+	// Spec shapes the traffic on both substrates. Default: the parity
+	// workload — think uniform [25,45], hold 1, think-dominated so the
+	// substrates' cycle semantics coincide (see the package comment).
+	Spec *workload.Spec
+}
+
+func (c ParityConfig) withDefaults() ParityConfig {
+	if c.N <= 0 {
+		c.N = 3
+	}
+	if c.Delta == 0 {
+		c.Delta = 25
+	}
+	if c.Horizon <= 0 {
+		c.Horizon = 2000
+	}
+	if c.Spec == nil {
+		spec := workload.UniformSpec(40, 70, 1)
+		c.Spec = &spec
+	}
+	return c
+}
+
+// ParityResult carries the three projections and their pairwise diffs.
+type ParityResult struct {
+	Sim  RunResult
+	Live LiveResult
+	Pred twin.Prediction
+	// SimVsLive, SimVsTwin, LiveVsTwin are the pairwise semantic diffs.
+	SimVsLive, SimVsTwin, LiveVsTwin []obs.MetricDiff
+	// OK reports every diff of every pair inside its tolerance.
+	OK bool
+}
+
+// Parity tolerances: counts get a relative band wide enough for the
+// substrates' residual timing differences (the live blocking driver pays
+// request latency per cycle that the polling sim client absorbs); safety
+// and convergence metrics get zero — a fault-free run must be violation-
+// free and convergence-free on every substrate, exactly.
+const (
+	parityCountTol = 0.20
+	parityExactTol = 0.0
+)
+
+// parityTols maps each semantic metric to its gate tolerance.
+func parityTols() map[string]float64 {
+	return map[string]float64{
+		"parity_entries":     parityCountTol,
+		"parity_requests":    parityCountTol,
+		"parity_me1_samples": parityExactTol,
+		"parity_violations":  parityExactTol,
+		"parity_conv_ticks":  parityExactTol,
+	}
+}
+
+// RunParity executes the seeded workload on sim and live cluster, predicts
+// it with the twin, and diffs the three semantic projections.
+func RunParity(cfg ParityConfig) (ParityResult, error) {
+	cfg = cfg.withDefaults()
+	spec := *cfg.Spec
+
+	simRes := Run(RunConfig{
+		Algo: RA, N: cfg.N, Seed: cfg.Seed, Delta: cfg.Delta,
+		Monitor:     true,
+		Workload:    workload.NewGen(spec, cfg.Seed+100, cfg.N),
+		Horizon:     cfg.Horizon,
+		MaxRequests: 1 << 20,
+	})
+
+	// The chaos band is tighter than the live default: the blocking live
+	// driver pays the request round trip once per cycle (the polling sim
+	// client absorbs it inside a think draw), so parity keeps that round
+	// trip small against the think time to stay inside the count tolerance.
+	liveRes, err := RunLive(LiveConfig{
+		N: cfg.N, Seed: cfg.Seed,
+		Duration:      time.Duration(cfg.Horizon) * LiveTick,
+		Delta:         time.Duration(cfg.Delta) * LiveTick,
+		ChaosMinDelay: 500 * time.Microsecond,
+		ChaosMaxDelay: 1500 * time.Microsecond,
+		Workload:      &spec,
+	})
+	if err != nil {
+		return ParityResult{Sim: simRes}, err
+	}
+
+	pred := twin.Predict(twin.SpecParams(twin.Params{
+		N: cfg.N, Delta: cfg.Delta, Horizon: cfg.Horizon,
+	}, spec))
+
+	res := parityEval(simRes, liveRes, pred)
+	return res, nil
+}
+
+// parityEval projects the three results onto the semantic snapshot and
+// diffs them pairwise. Split from RunParity so the negative test can
+// perturb one projection and watch the gate fail without a second live
+// run.
+func parityEval(simRes RunResult, liveRes LiveResult, pred twin.Prediction) ParityResult {
+	res := ParityResult{Sim: simRes, Live: liveRes, Pred: pred}
+	tols := parityTols()
+	sim := paritySnapshot(simRes)
+	live := liveParitySnapshot(liveRes)
+	tw := twinParitySnapshot(pred)
+	res.SimVsLive = obs.DiffSnapshots(sim, live, tols)
+	res.SimVsTwin = obs.DiffSnapshots(sim, tw, tols)
+	res.LiveVsTwin = obs.DiffSnapshots(live, tw, tols)
+	res.OK = obs.AllWithin(res.SimVsLive) && obs.AllWithin(res.SimVsTwin) &&
+		obs.AllWithin(res.LiveVsTwin)
+	return res
+}
+
+// paritySnapshot projects a sim run onto the semantic parity metrics. ME1
+// violations surface in the monitor summary under the "invariant" operator
+// (ME1 is the one invariant in the suite).
+func paritySnapshot(r RunResult) *obs.Snapshot {
+	s := obs.NewSnapshot()
+	s.Counters["parity_entries"] = int64(r.Entries)
+	s.Counters["parity_requests"] = int64(r.Requests)
+	s.Counters["parity_me1_samples"] = int64(r.ViolationSummary["invariant"].Count)
+	s.Counters["parity_violations"] = int64(r.Violations)
+	s.Gauges["parity_conv_ticks"] = r.ConvergenceTime
+	return s
+}
+
+// liveParitySnapshot projects a live run. The live safety monitor samples
+// ME1 only, so sampled violations stand in for both safety metrics; a
+// never-converged run projects its -1 sentinel, which diverges from any
+// clean projection — exactly the failure the gate wants to catch.
+func liveParitySnapshot(r LiveResult) *obs.Snapshot {
+	s := obs.NewSnapshot()
+	s.Counters["parity_entries"] = int64(r.Entries)
+	s.Counters["parity_requests"] = int64(r.Requests)
+	s.Counters["parity_me1_samples"] = int64(r.SafetyViolations)
+	s.Counters["parity_violations"] = int64(r.SafetyViolations)
+	s.Gauges["parity_conv_ticks"] = r.ConvergenceMS // 1 tick = 1ms live
+	return s
+}
+
+// twinParitySnapshot projects the analytical prediction: expected counts,
+// and a clean (zero) safety/convergence picture — the model predicts the
+// fault-free run.
+func twinParitySnapshot(p twin.Prediction) *obs.Snapshot {
+	s := obs.NewSnapshot()
+	s.Counters["parity_entries"] = int64(p.Entries + 0.5)
+	s.Counters["parity_requests"] = int64(p.Requests + 0.5)
+	s.Counters["parity_me1_samples"] = 0
+	s.Counters["parity_violations"] = 0
+	s.Gauges["parity_conv_ticks"] = 0
+	return s
+}
+
+// ParityGate runs E18 at the given scale and renders the gate table. The
+// boolean is the gate verdict: false means some pair of substrates (or a
+// substrate and the twin) diverged beyond tolerance.
+func ParityGate(scale Scale) (*Table, bool) {
+	cfg := ParityConfig{Seed: 11}
+	if scale == Full {
+		cfg.Horizon = 4000
+	}
+	res, err := RunParity(cfg)
+	cfg = cfg.withDefaults()
+	t := &Table{
+		Title: fmt.Sprintf("E18: sim-to-real parity gate, n=%d, δ=%d, horizon=%d ticks (live: %s)",
+			cfg.N, cfg.Delta, cfg.Horizon, time.Duration(cfg.Horizon)*LiveTick),
+		Header: []string{"pair", "metric", "a", "b", "rel %", "tol %", "verdict"},
+	}
+	if err != nil {
+		t.AddRow("live", "error: "+err.Error(), "-", "-", "-", "-", "-")
+		return t, false
+	}
+	for _, pair := range []struct {
+		name  string
+		diffs []obs.MetricDiff
+	}{
+		{"sim vs live", res.SimVsLive},
+		{"sim vs twin", res.SimVsTwin},
+		{"live vs twin", res.LiveVsTwin},
+	} {
+		for _, d := range pair.diffs {
+			verdict := "ok"
+			if !d.Within {
+				verdict = "DIVERGED"
+			}
+			t.AddRow(pair.name, d.Name,
+				fmt.Sprint(d.A), fmt.Sprint(d.B),
+				fmt.Sprintf("%.1f", 100*d.Rel), fmt.Sprintf("%.1f", 100*d.Tol),
+				verdict)
+		}
+	}
+	t.Notes = append(t.Notes,
+		"one seeded think-dominated workload on sim (virtual ticks) and live TCP loopback (1 tick = 1ms), plus the twin's closed-form prediction",
+		"counts gate at ±20%; ME1 samples, violations, and convergence ticks gate exactly — a clean run must be clean on every substrate",
+		fmt.Sprintf("gate verdict: ok=%v", res.OK),
+	)
+	return t, res.OK
+}

@@ -24,6 +24,7 @@ package hme
 import (
 	"fmt"
 	"slices"
+	"sync"
 
 	"github.com/graybox-stabilization/graybox/internal/obs"
 	"github.com/graybox-stabilization/graybox/internal/tme"
@@ -124,9 +125,12 @@ func (a *Acq) Grant(shard int) error {
 // Monitor is the level-2 spec monitor. It watches the op stream of every
 // client, enforces the ascending-order invariant grant by grant, and
 // publishes the hme_* instruments. All methods are no-ops on a nil
-// receiver, matching the obs discipline.
+// receiver, matching the obs discipline. Methods are safe for concurrent
+// use: the sharded substrate drives acquisitions from per-core goroutines,
+// so grants for different clients race into one monitor.
 type Monitor struct {
-	held map[int][]int // client → shards currently held, in grant order
+	mu   sync.Mutex
+	held map[int][]int //gblint:guardedby mu -- client → shards currently held, in grant order
 
 	acquisitions *obs.Counter
 	grants       *obs.Counter
@@ -161,6 +165,8 @@ func (m *Monitor) Observe(op Op, client, shard int, set []int) {
 	if m == nil {
 		return
 	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	switch op {
 	case OpAcquire:
 		m.acquisitions.Inc()
@@ -195,6 +201,8 @@ func (m *Monitor) InFlight() int {
 	if m == nil {
 		return 0
 	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	n := 0
 	for _, h := range m.held {
 		if len(h) > 0 {
@@ -212,7 +220,12 @@ func (m *Monitor) Audit(client int, phase func(shard int) tme.Phase) {
 	if m == nil {
 		return
 	}
-	for _, s := range m.held[client] {
+	// Snapshot under the lock, probe outside it: phase reads the shard's
+	// spec view, which must not nest inside the monitor's mutex.
+	m.mu.Lock()
+	held := slices.Clone(m.held[client])
+	m.mu.Unlock()
+	for _, s := range held {
 		if phase(s) != tme.Eating {
 			m.auditViol.Inc()
 		}

@@ -2,6 +2,7 @@ package hme
 
 import (
 	"slices"
+	"sync"
 	"testing"
 
 	"github.com/graybox-stabilization/graybox/internal/obs"
@@ -96,6 +97,77 @@ func TestMonitorAudit(t *testing.T) {
 	})
 	if got := r.Snapshot().Counter("hme_audit_violations_total"); got != 1 {
 		t.Fatalf("audit violations = %d, want 1", got)
+	}
+}
+
+// TestMonitorConcurrentMultiShard drives one monitor from many goroutines —
+// the sharded substrate's shape, where per-core loops race grants for
+// different clients into the shared monitor. Run under -race this is the
+// regression test for the Monitor's internal locking; it also pins the
+// exact violation counts, which must stay deterministic because each
+// client's own op stream is sequential even when clients interleave.
+func TestMonitorConcurrentMultiShard(t *testing.T) {
+	const (
+		clients = 8
+		rounds  = 50
+	)
+	r := obs.NewRegistry()
+	m := NewMonitor(r)
+
+	var wg sync.WaitGroup
+	for c := range clients {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			set := []int{c % 4, c%4 + 2, c%4 + 4} // overlapping multi-shard sets
+			for round := range rounds {
+				m.Observe(OpAcquire, c, 0, set)
+				if c == 0 && round%10 == 0 {
+					// Client 0 misbehaves every 10th round: grants arrive
+					// descending, each a separate order violation.
+					m.Observe(OpGrant, c, set[2], nil)
+					m.Observe(OpGrant, c, set[1], nil)
+					m.Observe(OpGrant, c, set[0], nil)
+				} else {
+					for _, s := range set {
+						m.Observe(OpGrant, c, s, nil)
+					}
+				}
+				// Audit while holding: client 1 always sees one scrambled
+				// phase, everyone else audits clean.
+				m.Audit(c, func(shard int) tme.Phase {
+					if c == 1 && shard == set[0] {
+						return tme.Hungry
+					}
+					return tme.Eating
+				})
+				m.Observe(OpRelease, c, 0, nil)
+			}
+		}()
+	}
+	wg.Wait()
+
+	if got := m.InFlight(); got != 0 {
+		t.Errorf("InFlight at quiescence = %d, want 0", got)
+	}
+	s := r.Snapshot()
+	checks := map[string]int64{
+		"hme_acquisitions_total": clients * rounds,
+		"hme_grants_total":       clients * rounds * 3,
+		"hme_releases_total":     clients * rounds,
+		// Client 0's 5 descending rounds: shard c+4 then c+2 then c, two
+		// backwards grants each.
+		"hme_order_violations_total": 2 * (rounds / 10),
+		// Client 1's every round: one held shard not Eating.
+		"hme_audit_violations_total": rounds,
+	}
+	for name, want := range checks {
+		if got := s.Counter(name); got != want {
+			t.Errorf("%s = %d, want %d", name, got, want)
+		}
+	}
+	if got := s.Gauge("hme_max_set", 0); got != 3 {
+		t.Errorf("hme_max_set = %d, want 3", got)
 	}
 }
 

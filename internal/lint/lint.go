@@ -192,6 +192,13 @@ func DefaultConfig() *Config {
 				"internal/wrapper", "internal/spec", "internal/lspec",
 				"internal/sim", "internal/runtime", "internal/harness",
 			}, Reason: "scenarios compile onto workload/fault/wire/engine/obs primitives; they must not reach into substrates or protocols (the harness adapts, never the reverse)"},
+			{Scope: "internal/twin", Deny: []string{
+				"internal/ra", "internal/lamport", "internal/tokenring", "internal/ring",
+				"internal/wrapper", "internal/spec", "internal/lspec", "internal/tme",
+				"internal/sim", "internal/runtime", "internal/harness", "internal/hme",
+				"internal/fault", "internal/wire", "internal/scenario", "internal/channel",
+				"internal/engine", "internal/ltime",
+			}, Reason: "the analytical twin is closed-form arithmetic over published parameters: workload specs in, obs snapshots out — the moment it imports a substrate or protocol it stops being an independent prediction and starts being a second simulator"},
 		},
 		DetScope: []string{
 			"internal/sim", "internal/runtime", "internal/harness",

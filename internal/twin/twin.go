@@ -1,0 +1,562 @@
+// Package twin is the analytical capacity model — the repository's fourth
+// execution substrate. Where sim, runtime, and wire *measure* a wrapped
+// system, twin *predicts* it in closed form: expected CS entries, requests,
+// and program-message cost over a horizon, W' resend volume, the
+// deadlock-recovery latency of the §4 scenario, and the saturation point,
+// all as functions of n, the shard count S, the wrapper timeout δ, the
+// workload's think/hold parameters, and the link-delay bounds.
+//
+// The model mirrors the substrates' mechanics piece by piece:
+//
+//   - Clients are polling loops: a client tick fires every think draw and
+//     issues a request only when it finds the process Thinking, so the
+//     entry cycle is a renewal first passage — the expected first partial
+//     sum of think draws exceeding the request→release time (solved
+//     exactly on the integer grid for uniform draws, memorylessly for
+//     open-loop mean-gap workloads).
+//
+//   - The critical section is one FCFS station per shard whose service
+//     time is the hold plus one link delay (the release→grant handoff).
+//     Queueing comes from exact Mean Value Analysis with a residual
+//     correction for the near-deterministic service (an M/D/1-style
+//     halving of the in-service remainder, scaled by the service cv²).
+//
+//   - An uncontended request enters after its request/permission round
+//     trip to every peer: the expected max over n−1 two-leg trips, each
+//     leg uniform on the integer delay range — an exact finite sum.
+//
+//   - Message cost needs no queueing: Ricart-Agrawala spends exactly
+//     2(n−1) program messages per entry (requests out, permissions back;
+//     RA has no release messages) and Lamport 3(n−1). W' resends echo:
+//     a resent request provokes a permission reply, which is why measured
+//     msgs/entry sits above the protocol constant at small δ.
+//
+//   - §4 deadlock recovery is scheduling arithmetic: W' fires on exact
+//     multiples of δ, every process is hungry and mutually stale, and the
+//     winner re-enters once the resent requests refresh its local copies
+//     — the fault→next-firing gap plus the expected max one-way flight.
+//
+// Everything here is arithmetic on the parameters: no RNG, no clock, no
+// substrate. The gblint layering rule for this package enforces that —
+// twin may read the obs snapshot vocabulary and the workload spec algebra
+// (to derive means), never a protocol, wrapper, or execution substrate.
+// Predictions are exposed through the same obs-snapshot shape the
+// substrates publish (Prediction.Snapshot), so the harness diffs predicted
+// against measured runs with the one snapshot-diff helper.
+package twin
+
+import (
+	"math"
+
+	"github.com/graybox-stabilization/graybox/internal/obs"
+	"github.com/graybox-stabilization/graybox/internal/workload"
+)
+
+// Algorithm names, matching harness.Algo.String() so call sites can pass
+// the measured run's own label.
+const (
+	AlgoRA      = "ricart-agrawala"
+	AlgoLamport = "lamport"
+)
+
+// Params describes the system being predicted. Times are in abstract ticks
+// — the same unit the workload draws use, so one Params predicts the
+// simulator (1 tick = 1 virtual tick) and the live cluster (1 tick = 1 ms,
+// harness.LiveTick) alike.
+type Params struct {
+	// N is the number of processes; each runs one polling client.
+	N int
+	// Shards is the number of independent critical sections (default 1).
+	// Clients spread uniformly: contention is per shard.
+	Shards int
+	// Algo names the protocol (AlgoRA default, AlgoLamport). It only
+	// changes the per-entry message constant.
+	Algo string
+	// Delta is the W' timeout δ in ticks. 0 is the eager W (evaluated
+	// every tick); negative disables the wrapper (no resend volume and no
+	// deadlock recovery — ConvergenceTicks becomes +Inf).
+	Delta int64
+	// MinDelay/MaxDelay bound the link delay, drawn uniformly on the
+	// integers [MinDelay, MaxDelay]. Defaults 1 and 5 (the sim's).
+	MinDelay, MaxDelay int64
+	// ThinkMin/ThinkMax bound the closed-loop think draw, uniform on the
+	// integers (defaults 5 and 20, the sim's client). Ignored when
+	// ThinkMean is set.
+	ThinkMin, ThinkMax int64
+	// ThinkMean, when > 0, models an open-loop (memoryless) gap stream
+	// with this mean instead of the uniform closed loop: at sub-saturation
+	// load the two agree on throughput.
+	ThinkMean float64
+	// HoldMean is the mean CS hold time in ticks (default 3, the sim's
+	// EatTime).
+	HoldMean float64
+	// Horizon is the predicted run length in ticks.
+	Horizon int64
+	// MaxRequests caps each client's requests (0 = unbounded); the sim's
+	// liveness-drain bound.
+	MaxRequests int
+	// FaultTime is when the §4 deadlock fault lands (default 11: requests
+	// at t=10, every in-flight message dropped at t=11 — the harness's
+	// DeadlockFault schedule).
+	FaultTime int64
+}
+
+func (p Params) withDefaults() Params {
+	if p.N < 2 {
+		p.N = 2
+	}
+	if p.Shards < 1 {
+		p.Shards = 1
+	}
+	if p.Algo == "" {
+		p.Algo = AlgoRA
+	}
+	if p.MinDelay <= 0 {
+		p.MinDelay = 1
+	}
+	if p.MaxDelay < p.MinDelay {
+		p.MaxDelay = 5
+	}
+	if p.ThinkMean <= 0 && (p.ThinkMin <= 0 || p.ThinkMax < p.ThinkMin) {
+		p.ThinkMin, p.ThinkMax = 5, 20
+	}
+	if p.HoldMean <= 0 {
+		p.HoldMean = 3
+	}
+	if p.Horizon <= 0 {
+		p.Horizon = 20000
+	}
+	if p.FaultTime <= 0 {
+		p.FaultTime = 11
+	}
+	return p
+}
+
+// Prediction is the closed-form forecast for one Params.
+type Prediction struct {
+	// Entries and Requests are expected totals over the horizon.
+	Entries, Requests float64
+	// EntryRate is expected entries per tick across all shards.
+	EntryRate float64
+	// MsgsPerEntry is the program-message cost per CS entry: the
+	// protocol's fault-free constant plus the permission echo of W'
+	// resends. ProgramMsgs is the horizon total.
+	MsgsPerEntry float64
+	ProgramMsgs  float64
+	// WaitTicks is the expected request→entry latency.
+	WaitTicks float64
+	// WrapperMsgsPerEntry estimates W' resend volume: one firing per
+	// δ-window spent hungry, resending to every peer not known to hold a
+	// newer request. This is the model's loosest number (the stale-peer
+	// count varies with timestamp interleaving); treat it as a flood
+	// indicator with a stated wide tolerance, not a ≤25% prediction.
+	WrapperMsgsPerEntry float64
+	WrapperMsgs         float64
+	// ConvergenceTicks is the expected §4 deadlock-recovery latency:
+	// first W' firing after the fault plus the max one-way flight of the
+	// resent requests. +Inf without a wrapper.
+	ConvergenceTicks float64
+	// SaturationRate is the system-wide entry-rate ceiling (entries/tick);
+	// Utilization is the per-shard station load in [0,1] — how close the
+	// offered load sits to that ceiling.
+	SaturationRate float64
+	Utilization    float64
+}
+
+// Predict solves the model for p.
+func Predict(p Params) Prediction {
+	p = p.withDefaults()
+	dMean := float64(p.MinDelay+p.MaxDelay) / 2
+	service := p.HoldMean + dMean
+	clients := float64(p.N) / float64(p.Shards)
+	// Residual correction: service is hold (deterministic) + one uniform
+	// delay, so an arriving request sees about half the in-service
+	// remainder an exponential server would show.
+	cv2 := uniformVar(p.MinDelay, p.MaxDelay) / (service * service)
+	uncontended := eMaxRoundTrip(p.N-1, p.MinDelay, p.MaxDelay)
+	fp := newFirstPassage(p)
+
+	// Fixed point between the queueing model and the polling cycle: the
+	// station's wait lengthens the request→release window, which moves the
+	// client's next request to a later think tick, which sets the think
+	// stage the queueing model sees. Damped iteration converges in a few
+	// dozen rounds everywhere on the sane parameter space.
+	inService := p.HoldMean + uncontended
+	cycle := fp.expect(inService)
+	var wq, queue float64
+	for i := 0; i < 64; i++ {
+		think := cycle - inService
+		if think < 0 {
+			think = 0
+		}
+		resp, q := mva(clients, service, think, cv2)
+		wq = resp - service
+		if wq < 0 {
+			wq = 0
+		}
+		queue = q
+		next := p.HoldMean + uncontended + wq
+		inService += 0.5 * (next - inService)
+		cycle += 0.5 * (fp.expect(inService) - cycle)
+	}
+
+	xClient := 1 / cycle
+	pred := Prediction{
+		EntryRate:      xClient * float64(p.N),
+		WaitTicks:      uncontended + wq,
+		SaturationRate: float64(p.Shards) / service,
+		Utilization:    xClient * clients * service,
+	}
+	pred.Entries = pred.EntryRate * float64(p.Horizon)
+	if p.MaxRequests > 0 {
+		if most := float64(p.N * p.MaxRequests); pred.Entries > most {
+			pred.Entries = most
+		}
+	}
+	// Requests lead entries by the clients still hungry at the horizon.
+	pred.Requests = pred.Entries + queue*float64(p.Shards)
+
+	// W' resend volume: every δ-window spent hungry fires once, resending
+	// to the peers whose known request is not newer — all of them except
+	// the later half of the hungry queue.
+	if p.Delta > 0 {
+		stale := float64(p.N-1) - queue/2
+		if stale < 1 {
+			stale = 1
+		}
+		pred.WrapperMsgsPerEntry = pred.WaitTicks / float64(p.Delta) * stale
+	}
+	pred.WrapperMsgs = pred.WrapperMsgsPerEntry * pred.Entries
+
+	// Each resent request provokes one permission reply from a peer that
+	// is not already ahead of the resender — the echo that lifts measured
+	// msgs/entry above the protocol constant at small δ.
+	echo := 2 / float64(p.N-1)
+	if echo > 1 {
+		echo = 1
+	}
+	pred.MsgsPerEntry = protocolMsgsPerEntry(p.Algo, p.N) + echo*pred.WrapperMsgsPerEntry
+	pred.ProgramMsgs = pred.Entries * pred.MsgsPerEntry
+
+	pred.ConvergenceTicks = convergenceTicks(p)
+	return pred
+}
+
+// protocolMsgsPerEntry is the fault-free program-message cost of one CS
+// entry. Ricart-Agrawala: n−1 requests out, n−1 permissions back, no
+// release messages (permission travels in the deferred replies). Lamport:
+// n−1 requests, n−1 acks, n−1 releases. Each shard's instance spans all n
+// processes in this repo's design, so sharding leaves the constant alone.
+func protocolMsgsPerEntry(algo string, n int) float64 {
+	peers := float64(n - 1)
+	if algo == AlgoLamport {
+		return 3 * peers
+	}
+	return 2 * peers
+}
+
+// mva runs the Mean Value Analysis recursion for a closed network of one
+// FCFS station (service s, squared coefficient of variation cv2) and a
+// think stage z, returning the station response time and mean queue length
+// at the given population (fractional populations interpolate linearly).
+// The cv2 term is the deterministic-service correction: an arriving
+// customer sees the in-service remainder scaled by (1+cv2)/2 rather than a
+// full memoryless service.
+func mva(clients, s, z float64, cv2 float64) (resp, queue float64) {
+	if clients <= 0 {
+		return s, 0
+	}
+	n := int(clients)
+	frac := clients - float64(n)
+	var q, x float64
+	var rLo, qLo float64 // values at population n
+	steps := n
+	if frac > 0 {
+		steps = n + 1
+	}
+	for k := 1; k <= steps; k++ {
+		util := x * s
+		if util > 1 {
+			util = 1
+		}
+		r := s*(1+q) - util*s*(1-cv2)/2
+		if r < s {
+			r = s
+		}
+		x = float64(k) / (z + r)
+		q = x * r
+		if k == n {
+			rLo, qLo = r, q
+		}
+		if k == steps {
+			resp, queue = r, q
+		}
+	}
+	if n == 0 {
+		// Sub-unit population: scale the single-customer point down.
+		return s, frac * queue
+	}
+	if frac > 0 {
+		resp = rLo + frac*(resp-rLo)
+		queue = qLo + frac*(queue-qLo)
+	}
+	return resp, queue
+}
+
+// convergenceTicks predicts the §4 deadlock-recovery latency. After the
+// fault every process is hungry with every request lost and every local
+// copy stale. W' evaluations land on exact multiples of δ (the substrates
+// schedule wrapper ticks at t=0 with period δ), so the first corrective
+// firing is at the first multiple of δ at or after FaultTime+1; every
+// wrapper fires at once, and the winner re-enters when the resent requests
+// have refreshed all n−1 of its local copies — the expected max one-way
+// flight over the discrete uniform link delays.
+func convergenceTicks(p Params) float64 {
+	if p.Delta < 0 {
+		return math.Inf(1)
+	}
+	var firstFire float64
+	earliest := p.FaultTime + 1
+	if p.Delta <= 1 {
+		firstFire = float64(earliest) // eager W: evaluated every tick
+	} else {
+		k := (earliest + p.Delta - 1) / p.Delta
+		firstFire = float64(k * p.Delta)
+	}
+	return firstFire - float64(p.FaultTime) + eMaxUniform(p.N-1, p.MinDelay, p.MaxDelay)
+}
+
+// uniformVar is the variance of the discrete uniform on [lo, hi].
+func uniformVar(lo, hi int64) float64 {
+	span := float64(hi - lo + 1)
+	return (span*span - 1) / 12
+}
+
+// eMaxUniform is the exact expectation of the maximum of m iid discrete
+// uniform [lo, hi] draws: Σ_x x·(F(x)^m − F(x−1)^m).
+func eMaxUniform(m int, lo, hi int64) float64 {
+	if m < 1 {
+		return 0
+	}
+	span := float64(hi - lo + 1)
+	e, prev := 0.0, 0.0
+	for x := lo; x <= hi; x++ {
+		c := math.Pow(float64(x-lo+1)/span, float64(m))
+		e += float64(x) * (c - prev)
+		prev = c
+	}
+	return e
+}
+
+// eMaxRoundTrip is the exact expectation of the maximum over m independent
+// round trips, each the sum of two iid discrete uniform [lo, hi] legs (the
+// convolution is triangular on [2lo, 2hi]).
+func eMaxRoundTrip(m int, lo, hi int64) float64 {
+	if m < 1 {
+		return 0
+	}
+	span := int(hi - lo + 1)
+	pmf := make([]float64, 2*span-1)
+	for a := 0; a < span; a++ {
+		for b := 0; b < span; b++ {
+			pmf[a+b] += 1 / float64(span*span)
+		}
+	}
+	e, cdf, prev := 0.0, 0.0, 0.0
+	for i, q := range pmf {
+		cdf += q
+		c := math.Pow(cdf, float64(m))
+		e += float64(2*lo+int64(i)) * (c - prev)
+		prev = c
+	}
+	return e
+}
+
+// firstPassage answers the polling question: client ticks recur with iid
+// think gaps, a request is issued at the first tick after the
+// request→release window closes — what is the expected time of that tick?
+type firstPassage struct {
+	mean float64
+	// h[x] is the expected first partial sum of uniform integer draws
+	// strictly exceeding x; nil for the memoryless (open-loop) model.
+	h        []float64
+	lo, span int64
+}
+
+// fpTable bounds the exact first-passage grid; far beyond any sane
+// request→release window, and past it the asymptotic form is exact enough.
+const fpTable = 1 << 14
+
+func newFirstPassage(p Params) *firstPassage {
+	if p.ThinkMean > 0 {
+		return &firstPassage{mean: p.ThinkMean}
+	}
+	lo, hi := p.ThinkMin, p.ThinkMax
+	if lo < 1 {
+		lo = 1
+	}
+	if hi < lo {
+		hi = lo
+	}
+	span := hi - lo + 1
+	f := &firstPassage{mean: float64(lo+hi) / 2, lo: lo, span: span}
+	f.h = make([]float64, fpTable)
+	prob := 1 / float64(span)
+	for x := int64(0); x < fpTable; x++ {
+		v := f.mean // every draw's own contribution
+		for t := lo; t <= hi && t <= x; t++ {
+			v += prob * f.h[x-t]
+		}
+		f.h[x] = v
+	}
+	return f
+}
+
+// expect returns the expected first tick-sum strictly exceeding x.
+func (f *firstPassage) expect(x float64) float64 {
+	if x <= 0 {
+		return f.mean
+	}
+	if f.h == nil {
+		return x + f.mean // memoryless gaps: the residual is a full mean
+	}
+	i := int64(x)
+	if i < fpTable {
+		return f.h[i]
+	}
+	// Asymptotic renewal form: overshoot E[T²]/(2E[T]) past the window.
+	varT := uniformVar(f.lo, f.lo+f.span-1)
+	return x + (varT+f.mean*f.mean)/(2*f.mean)
+}
+
+// SpecMeans derives the think/hold means the model needs from a workload
+// spec, weighting cohorts by their client share. Open-loop shapes
+// contribute their mean inter-arrival gap; heavy-tailed holds use their
+// closed-form means (capped draws are approximated by the uncapped mean —
+// caps exist to drain liveness obligations, not to reshape the mass).
+func SpecMeans(spec workload.Spec) (thinkMean, holdMean float64) {
+	if len(spec.Cohorts) == 0 {
+		spec = workload.DefaultSpec()
+	}
+	total := 0.0
+	for _, c := range spec.Cohorts {
+		w := float64(c.Weight)
+		if w < 1 {
+			w = 1
+		}
+		total += w
+		thinkMean += w * arrivalMean(c.Arrival)
+		holdMean += w * holdMeanOf(c.Hold)
+	}
+	return thinkMean / total, holdMean / total
+}
+
+// SpecParams fills the workload-shaped fields of a Params from a spec: the
+// exact uniform bounds when every cohort is one closed uniform loop (the
+// first-passage grid is exact there), the memoryless mean otherwise.
+func SpecParams(p Params, spec workload.Spec) Params {
+	if len(spec.Cohorts) == 0 {
+		spec = workload.DefaultSpec()
+	}
+	uniform := true
+	for _, c := range spec.Cohorts {
+		if c.Arrival.Kind != workload.ClosedUniform && c.Arrival.Kind != 0 {
+			uniform = false
+		}
+	}
+	think, hold := SpecMeans(spec)
+	p.HoldMean = hold
+	if uniform && len(spec.Cohorts) == 1 {
+		p.ThinkMin = spec.Cohorts[0].Arrival.ThinkMin
+		p.ThinkMax = spec.Cohorts[0].Arrival.ThinkMax
+		p.ThinkMean = 0
+	} else {
+		p.ThinkMean = think
+	}
+	return p
+}
+
+// arrivalMean is the mean gap of one arrival shape.
+func arrivalMean(a workload.Arrival) float64 {
+	switch a.Kind {
+	case workload.OpenPoisson:
+		return a.MeanGap
+	case workload.OpenBursty:
+		// Rate averages over the on/off duty cycle.
+		on, off := float64(a.On), float64(a.Off)
+		if on <= 0 || a.BurstGap <= 0 {
+			return a.MeanGap
+		}
+		return a.BurstGap * (on + off) / on
+	case workload.OpenDiurnal:
+		// The curve multiplies the rate; its mean multiplies the gap back.
+		if len(a.Curve) == 0 {
+			return a.MeanGap
+		}
+		sum := 0.0
+		for _, c := range a.Curve {
+			sum += c
+		}
+		if sum == 0 {
+			return a.MeanGap
+		}
+		return a.MeanGap * float64(len(a.Curve)) / sum
+	case workload.ClosedUniform:
+		return float64(a.ThinkMin+a.ThinkMax) / 2
+	default: // zero value: the sim's built-in think draw
+		return float64(a.ThinkMin+a.ThinkMax) / 2
+	}
+}
+
+// holdMeanOf is the mean of one hold distribution.
+func holdMeanOf(h workload.Hold) float64 {
+	switch h.Kind {
+	case workload.HoldUniform:
+		return float64(h.Min+h.Max) / 2
+	case workload.HoldLognormal:
+		return math.Exp(h.Mu + h.Sigma*h.Sigma/2)
+	case workload.HoldPareto:
+		if h.Alpha > 1 {
+			return h.XMin * h.Alpha / (h.Alpha - 1)
+		}
+		// Infinite-mean tail: the cap is the only thing keeping draws
+		// finite, so it dominates the mean.
+		return float64(h.Cap)
+	case workload.HoldFixed:
+		return float64(h.Fixed)
+	default: // zero value: fixed hold of h.Fixed ticks
+		return float64(h.Fixed)
+	}
+}
+
+// Snapshot renders the prediction in the substrates' obs-snapshot shape:
+// the sim's counter names for the quantities the sim counts, twin_* gauges
+// for the model-only quantities. Rates and ratios are scaled (×1000) into
+// integers, matching the snapshot's int64-only vocabulary.
+func (pr Prediction) Snapshot() *obs.Snapshot {
+	s := obs.NewSnapshot()
+	s.Counters["sim_cs_entries_total"] = round(pr.Entries)
+	s.Counters["sim_requests_total"] = round(pr.Requests)
+	s.Counters["sim_msgs_program_total"] = round(pr.ProgramMsgs)
+	s.Counters["sim_msgs_wrapper_total"] = round(pr.WrapperMsgs)
+	s.Gauges["twin_entry_rate_per_ktick"] = round(pr.EntryRate * 1000)
+	s.Gauges["twin_msgs_per_entry_x1000"] = round(pr.MsgsPerEntry * 1000)
+	s.Gauges["twin_wrapper_msgs_per_entry_x1000"] = round(pr.WrapperMsgsPerEntry * 1000)
+	s.Gauges["twin_wait_ticks_x1000"] = round(pr.WaitTicks * 1000)
+	s.Gauges["twin_conv_ticks_x1000"] = round(pr.ConvergenceTicks * 1000)
+	s.Gauges["twin_saturation_per_ktick"] = round(pr.SaturationRate * 1000)
+	s.Gauges["twin_utilization_x1000"] = round(pr.Utilization * 1000)
+	return s
+}
+
+// round converts a prediction to the snapshot's integer vocabulary,
+// clamping the +Inf convergence of unwrapped systems to MaxInt64.
+func round(v float64) int64 {
+	if math.IsInf(v, 1) || v >= math.MaxInt64 {
+		return math.MaxInt64
+	}
+	if v <= 0 {
+		return 0
+	}
+	return int64(v + 0.5)
+}

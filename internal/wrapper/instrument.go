@@ -1,6 +1,9 @@
 package wrapper
 
 import (
+	"fmt"
+	"os"
+
 	"github.com/graybox-stabilization/graybox/internal/obs"
 	"github.com/graybox-stabilization/graybox/internal/tme"
 )
@@ -23,7 +26,39 @@ type Instrumented struct {
 	Evals, Fires, Sends *obs.Counter
 	// Trace receives one EvWrapperFire event per opening (nil = no trace).
 	Trace *obs.Trace
+
+	// Resend-storm guard. A W' that fires in consecutive δ-windows while
+	// the process stays hungry the whole time is not correcting a
+	// transient fault — the hunger is outliving whole timeout periods,
+	// which means δ sits far below the real queueing wait and every window
+	// burns (n−1) resends for nothing (the PR 9 δ-tuning lesson, and the
+	// E17 resend flood). Any evaluation that sees the process non-hungry
+	// resets the streak: resends followed by an entry were contention, not
+	// a storm. Delta is the wrapper's timeout (taken from a
+	// TimeoutDelta-capable inner wrapper; 0 disables the guard), Storms
+	// counts threshold crossings, and Warn fires once per wrapper on the
+	// first crossing.
+	Delta int64
+	// StormAfter is how many consecutive firing windows count as a storm
+	// (default stormAfter when 0).
+	StormAfter int
+	// Storms is the wrapper_resend_storm_total counter.
+	Storms *obs.Counter
+	// Warn receives the one-time storm warning (nil = stderr).
+	Warn func(id, streak int, delta int64)
+
+	streak   int
+	lastFire int64
+	warned   bool
 }
+
+// stormAfter is the default storm threshold: firing 8 δ-windows in a row
+// cannot be transient recovery — at the δ values the experiments use, real
+// convergence completes within one or two windows.
+const stormAfter = 8
+
+// TimeoutDelta exposes the W' timeout to the instrumentation layer.
+func (t *Timed) TimeoutDelta() int64 { return t.Delta }
 
 var _ Level2 = (*Instrumented)(nil)
 
@@ -39,8 +74,47 @@ func (w *Instrumented) Fire(now int64, v tme.SpecView) []tme.Message {
 		w.Trace.Emit(obs.Event{
 			Time: now, Kind: obs.EvWrapperFire, A: w.ID, B: -1, N: len(msgs),
 		})
+		if w.Delta > 0 {
+			w.noteFire(now)
+		}
+	} else if w.streak > 0 && v.Phase() != tme.Hungry {
+		// The hungry stretch the streak was tracking ended — the process
+		// entered (or gave up), so those resends were contention, not a
+		// storm. Only an unbroken hungry run of firing windows counts.
+		w.streak = 0
 	}
 	return msgs
+}
+
+// noteFire tracks consecutive firing windows for the storm guard. Kept out
+// of the hotpath-marked Fire body: it only runs on actual firings, and the
+// one-time warning path may format.
+func (w *Instrumented) noteFire(now int64) {
+	if w.streak > 0 && now-w.lastFire <= w.Delta {
+		w.streak++
+	} else {
+		w.streak = 1
+	}
+	w.lastFire = now
+	threshold := w.StormAfter
+	if threshold <= 0 {
+		threshold = stormAfter
+	}
+	if w.streak < threshold {
+		return
+	}
+	w.Storms.Inc()
+	if w.warned {
+		return
+	}
+	w.warned = true
+	if w.Warn != nil {
+		w.Warn(w.ID, w.streak, w.Delta)
+		return
+	}
+	fmt.Fprintf(os.Stderr,
+		"wrapper: resend storm on process %d: W' fired %d consecutive δ-windows (δ=%d) — δ is far below the queueing wait, every window resends for nothing; raise δ\n",
+		w.ID, w.streak, w.Delta)
 }
 
 // InstrumentLevel2 wraps l2 for process id against o's registry and trace.
@@ -51,12 +125,18 @@ func InstrumentLevel2(o *obs.Obs, id int, l2 Level2) Level2 {
 		return l2
 	}
 	r := o.Registry()
+	var delta int64
+	if td, ok := l2.(interface{ TimeoutDelta() int64 }); ok {
+		delta = td.TimeoutDelta()
+	}
 	return &Instrumented{
-		Inner: l2,
-		ID:    id,
-		Evals: r.Counter("wrapper_evals_total", "level-2 wrapper guard evaluations"),
-		Fires: r.Counter("wrapper_fires_total", "level-2 wrapper guard openings"),
-		Sends: r.Counter("wrapper_msgs_total", "corrective messages sent by level-2 wrappers"),
-		Trace: o.Tracer(),
+		Inner:  l2,
+		ID:     id,
+		Evals:  r.Counter("wrapper_evals_total", "level-2 wrapper guard evaluations"),
+		Fires:  r.Counter("wrapper_fires_total", "level-2 wrapper guard openings"),
+		Sends:  r.Counter("wrapper_msgs_total", "corrective messages sent by level-2 wrappers"),
+		Trace:  o.Tracer(),
+		Delta:  delta,
+		Storms: r.Counter("wrapper_resend_storm_total", "δ-windows fired past the consecutive-firing storm threshold"),
 	}
 }

@@ -1,0 +1,104 @@
+package wrapper
+
+import (
+	"testing"
+
+	"github.com/graybox-stabilization/graybox/internal/ltime"
+	"github.com/graybox-stabilization/graybox/internal/obs"
+	"github.com/graybox-stabilization/graybox/internal/tme"
+)
+
+// stormView is a process that stays hungry with every local copy stale —
+// the state in which W' resends every δ-window. That only happens in a real
+// run when the queueing wait exceeds δ by whole multiples: a well-tuned δ
+// clears the guard within one or two windows (PR 9's sweep).
+func stormView() *view {
+	return &view{
+		id:    1,
+		n:     3,
+		phase: tme.Hungry,
+		req:   ltime.Timestamp{Clock: 5, PID: 1},
+		local: map[int]ltime.Timestamp{0: ltime.Zero, 2: ltime.Zero},
+	}
+}
+
+func TestStormGuardFiresOnSustainedResends(t *testing.T) {
+	// δ=4 against a wait that (scripted here) never ends: the wrapper
+	// fires at t = 0, 4, 8, ... — every window, the storm signature.
+	const delta = 4
+	o := obs.New(obs.Options{})
+	w := InstrumentLevel2(o, 1, NewTimed(delta)).(*Instrumented)
+	if w.Delta != delta {
+		t.Fatalf("Delta = %d, want %d (TimeoutDelta not picked up)", w.Delta, delta)
+	}
+
+	var warns int
+	w.Warn = func(id, streak int, d int64) {
+		warns++
+		if id != 1 || d != delta {
+			t.Errorf("Warn(id=%d, streak=%d, delta=%d)", id, streak, d)
+		}
+		if streak < stormAfter {
+			t.Errorf("warned at streak %d, below threshold %d", streak, stormAfter)
+		}
+	}
+
+	v := stormView()
+	storms := o.Registry().Counter("wrapper_resend_storm_total", "")
+	for win := 0; win < stormAfter+3; win++ {
+		for tick := int64(0); tick < delta; tick++ {
+			w.Fire(int64(win)*delta+tick, v)
+		}
+		if win == stormAfter-2 && storms.Value() != 0 {
+			t.Fatalf("storm counter moved at window %d, before the threshold", win)
+		}
+	}
+	// Threshold crossed at window stormAfter-1 (streak counts windows), then
+	// every further window is another storm-window sample.
+	if got := storms.Value(); got != 4 {
+		t.Errorf("wrapper_resend_storm_total = %d, want 4", got)
+	}
+	if warns != 1 {
+		t.Errorf("Warn called %d times, want exactly 1", warns)
+	}
+}
+
+func TestStormGuardQuietOnTransientRecovery(t *testing.T) {
+	// The healthy pattern: a couple of firing windows, then the copies
+	// refresh (guard closes) and the streak must reset.
+	o := obs.New(obs.Options{})
+	w := InstrumentLevel2(o, 1, NewTimed(4)).(*Instrumented)
+	w.Warn = func(int, int, int64) { t.Error("warned on transient recovery") }
+
+	hungry, done := stormView(), stormView()
+	done.phase = tme.Thinking
+	now := int64(0)
+	for burst := 0; burst < 5; burst++ {
+		for win := 0; win < stormAfter-1; win++ { // stay just under threshold
+			w.Fire(now, hungry)
+			now += 4
+		}
+		for gap := 0; gap < 3; gap++ { // recovery: guard closed, no firing
+			w.Fire(now, done)
+			now += 4
+		}
+	}
+	if got := o.Registry().Counter("wrapper_resend_storm_total", "").Value(); got != 0 {
+		t.Errorf("storm counter = %d on transient bursts, want 0", got)
+	}
+}
+
+func TestStormGuardDisabledWithoutDelta(t *testing.T) {
+	// An inner wrapper with no TimeoutDelta (plain W) leaves the guard off:
+	// W legitimately fires every tick, which is not a resend storm.
+	o := obs.New(obs.Options{})
+	w := InstrumentLevel2(o, 1, Func(W)).(*Instrumented)
+	w.Warn = func(int, int, int64) { t.Error("warned with guard disabled") }
+	v := stormView()
+	for now := int64(0); now < 100; now++ {
+		w.Fire(now, v)
+	}
+	if got := o.Registry().Counter("wrapper_resend_storm_total", "").Value(); got != 0 {
+		t.Errorf("storm counter = %d with δ unknown, want 0", got)
+	}
+}
